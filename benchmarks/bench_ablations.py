@@ -1,0 +1,201 @@
+"""Ablation benches for the design decisions DESIGN.md calls out (D1–D5).
+
+These isolate *single* mechanisms the paper's channels rely on, holding
+everything else fixed:
+
+* **D1 — positional vs id-echo responses** (RequestRespond.echo_ids)
+* **D2 — sorted linear-scan vs hash combining** (ScatterCombine.use_hash)
+* **D3 — per-channel message types** (exercised by Table IV S-V/SCC/MSF)
+* **D4 — propagation vs partition quality**
+* **D5 — cost-model sensitivity** (orderings stable under other networks)
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRankScatter
+from repro.algorithms.pointer_jumping import PointerJumpingReqResp
+from repro.algorithms.wcc import run_wcc
+from repro.algorithms.sv import run_sv
+from repro.bench.datasets import load_dataset
+from repro.core import ChannelEngine
+from repro.graph.partition import hash_partition, metis_like_partition
+from repro.pregel_algorithms.sv import run_sv_pregel
+from repro.runtime.costmodel import NetworkModel
+
+
+def _run(graph, program_cls, benchmark, **kw):
+    res = benchmark.pedantic(
+        lambda: ChannelEngine(graph, program_cls, num_workers=8, **kw).run(),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        {
+            "message_mb": round(res.metrics.total_net_bytes / 1e6, 3),
+            "simulated_time": round(res.metrics.simulated_time, 4),
+            "supersteps": res.supersteps,
+        }
+    )
+    return res
+
+
+# -- D1: response format --------------------------------------------------
+@pytest.mark.parametrize("echo", [False, True], ids=["positional", "id-echo"])
+def test_ablation_respond_format(benchmark, echo):
+    graph = load_dataset("tree")
+
+    class PJ(PointerJumpingReqResp):
+        def __init__(self, worker):
+            super().__init__(worker)
+            self.rr.echo_ids = echo
+
+    res = _run(graph, PJ, benchmark)
+    benchmark.extra_info["echo_ids"] = echo
+    assert res.supersteps > 2
+
+
+def test_ablation_respond_format_saves_bytes():
+    """The paper's constant ~33% respond-size saving, isolated."""
+    graph = load_dataset("tree")
+
+    def bytes_with(echo):
+        class PJ(PointerJumpingReqResp):
+            def __init__(self, worker):
+                super().__init__(worker)
+                self.rr.echo_ids = echo
+
+        return ChannelEngine(graph, PJ, num_workers=8).run().metrics.total_net_bytes
+
+    positional, echoed = bytes_with(False), bytes_with(True)
+    assert positional < echoed
+
+
+# -- D2: combine strategy ----------------------------------------------------
+@pytest.mark.parametrize("use_hash", [False, True], ids=["linear-scan", "hash"])
+def test_ablation_scan_vs_hash(benchmark, use_hash):
+    graph = load_dataset("wikipedia")
+
+    class PR(PageRankScatter):
+        iterations = 10
+
+        def __init__(self, worker):
+            super().__init__(worker)
+            self.msg.use_hash = use_hash
+
+    res = _run(graph, PR, benchmark)
+    benchmark.extra_info["use_hash"] = use_hash
+    assert res.supersteps == 11
+
+
+# -- D4: propagation vs partition quality --------------------------------------
+@pytest.mark.parametrize("partitioner", ["hash", "metis-like"])
+def test_ablation_prop_partition_quality(benchmark, partitioner):
+    graph = load_dataset("usa-road")  # high diameter: partition matters most
+    if partitioner == "hash":
+        part = hash_partition(graph.num_vertices, 8, seed=0)
+    else:
+        part = metis_like_partition(graph, 8, seed=0)
+
+    def run():
+        return run_wcc(graph, variant="prop", num_workers=8, partition=part)[1]
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {
+            "partitioner": partitioner,
+            "rounds": res.metrics.total_rounds,
+            "message_mb": round(res.metrics.total_net_bytes / 1e6, 3),
+        }
+    )
+
+
+def test_ablation_prop_partition_quality_ordering():
+    graph = load_dataset("usa-road")
+    ph = hash_partition(graph.num_vertices, 8, seed=0)
+    pm = metis_like_partition(graph, 8, seed=0)
+    _, rh = run_wcc(graph, variant="prop", num_workers=8, partition=ph)
+    _, rm = run_wcc(graph, variant="prop", num_workers=8, partition=pm)
+    assert rm.metrics.total_net_bytes < rh.metrics.total_net_bytes
+
+
+# -- D5: cost-model sensitivity ---------------------------------------------------
+NETWORKS = {
+    "paper-750mbps": NetworkModel(latency=1e-3, bandwidth=93.75e6),
+    "slow-100mbps": NetworkModel(latency=5e-3, bandwidth=12.5e6),
+    "fast-10gbps": NetworkModel(latency=1e-4, bandwidth=1.25e9),
+}
+
+
+@pytest.mark.parametrize("network", sorted(NETWORKS))
+def test_ablation_costmodel_table6_ordering(benchmark, network):
+    """Table VI's headline ordering must hold under any plausible network:
+    channel-both < pregel-reqresp in simulated time."""
+    graph = load_dataset("facebook")
+    nm = NETWORKS[network]
+
+    def run():
+        _, best = run_sv(graph, variant="both", num_workers=8, network=nm)
+        _, prior = run_sv_pregel(graph, mode="reqresp", num_workers=8, network=nm)
+        return best, prior
+
+    best, prior = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {
+            "network": network,
+            "channel_both": round(best.metrics.simulated_time, 4),
+            "pregel_reqresp": round(prior.metrics.simulated_time, 4),
+        }
+    )
+    assert best.metrics.simulated_time < prior.metrics.simulated_time
+
+
+# -- extension: mirroring as a channel ------------------------------------------
+@pytest.mark.parametrize(
+    "program", ["channel-scatter", "channel-mirror", "pregel-ghost"]
+)
+def test_ablation_mirror_channel(cell, program):
+    """Beyond the paper: Pregel+'s ghost mode re-packaged as a channel
+    (`MirroredScatter`), compared against ScatterCombine and the engine-
+    mode original on the same PageRank workload."""
+    kwargs = {"ghost_threshold": 16} if program == "pregel-ghost" else {}
+    row = cell("pr", program, "webuk", **kwargs)
+    assert row["supersteps"] == 31
+
+
+# -- D4b: local fixpoint depth --------------------------------------------------
+@pytest.mark.parametrize("hops", [1, 2, 8, None], ids=lambda h: f"hops-{h}")
+def test_ablation_prop_hop_budget(benchmark, hops):
+    """Interpolate between per-superstep messaging (1 hop per round) and
+    the paper's full block-style convergence (unlimited): the exchange-
+    round count falls as the local fixpoint is allowed to run deeper."""
+    from repro.core import ChannelEngine, MIN_I64, Propagation, VertexProgram
+
+    graph = load_dataset("usa-road")
+
+    class WCCHops(VertexProgram):
+        def __init__(self, worker):
+            super().__init__(worker)
+            self.prop = Propagation(worker, MIN_I64, max_local_hops=hops)
+
+        def compute(self, v):
+            if self.step_num == 1:
+                self.prop.add_edges(v, v.edges)
+                self.prop.set_value(v, v.id)
+            else:
+                v.vote_to_halt()
+
+    res = benchmark.pedantic(
+        lambda: ChannelEngine(graph, WCCHops, num_workers=8).run(),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        {
+            "max_local_hops": hops,
+            "rounds": res.metrics.total_rounds,
+            "message_mb": round(res.metrics.total_net_bytes / 1e6, 3),
+        }
+    )

@@ -1,0 +1,90 @@
+"""Benchmarks for the extended library (beyond the paper's tables):
+
+* the additional algorithms (BFS, triangles, k-core, MIS, LPA),
+* the Palgol-lite compiler pipeline (optimized vs standard channels on
+  the same spec — the compiler's whole value proposition in one number).
+"""
+
+import pytest
+
+from repro.algorithms import (
+    run_bfs,
+    run_kcore,
+    run_lpa,
+    run_mis,
+    run_triangles,
+)
+from repro.bench.datasets import load_dataset
+from repro.palgol import run_palgol, sv_spec, wcc_spec
+
+
+def _record(benchmark, res):
+    benchmark.extra_info.update(
+        {
+            "message_mb": round(res.metrics.total_net_bytes / 1e6, 3),
+            "simulated_time": round(res.metrics.simulated_time, 4),
+            "supersteps": res.supersteps,
+        }
+    )
+
+
+@pytest.mark.parametrize("variant", ["basic", "prop"])
+def test_bfs(benchmark, variant):
+    g = load_dataset("usa-road")
+    src = int(g.out_degrees.argmax())
+
+    def run():
+        return run_bfs(g, source=src, variant=variant, num_workers=8)[1]
+
+    _record(benchmark, benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0))
+
+
+def test_triangles(benchmark):
+    g = load_dataset("facebook")
+    res = benchmark.pedantic(
+        lambda: run_triangles(g, num_workers=8)[1], rounds=1, iterations=1, warmup_rounds=0
+    )
+    _record(benchmark, res)
+
+
+def test_kcore(benchmark):
+    g = load_dataset("facebook")
+    res = benchmark.pedantic(
+        lambda: run_kcore(g, num_workers=8)[1], rounds=1, iterations=1, warmup_rounds=0
+    )
+    _record(benchmark, res)
+
+
+def test_mis(benchmark):
+    g = load_dataset("facebook")
+    res = benchmark.pedantic(
+        lambda: run_mis(g, num_workers=8)[1], rounds=1, iterations=1, warmup_rounds=0
+    )
+    _record(benchmark, res)
+
+
+def test_lpa(benchmark):
+    g = load_dataset("facebook")
+    res = benchmark.pedantic(
+        lambda: run_lpa(g, rounds=8, num_workers=8)[1],
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    _record(benchmark, res)
+
+
+@pytest.mark.parametrize("spec_name", ["sv", "wcc"])
+@pytest.mark.parametrize("optimize", [False, True], ids=["standard", "optimized"])
+def test_palgol_pipeline(benchmark, spec_name, optimize):
+    """The compiler's channel selection, end to end: the same declarative
+    spec with and without optimized channels."""
+    g = load_dataset("facebook")
+    spec = {"sv": sv_spec, "wcc": wcc_spec}[spec_name]()
+
+    def run():
+        return run_palgol(spec, g, optimize=optimize, num_workers=8)[1]
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    _record(benchmark, res)
+    benchmark.extra_info["optimize"] = optimize

@@ -1,0 +1,19 @@
+"""Table V (middle): the request-respond channel on pointer jumping.
+
+Programs: Pregel+ basic, Pregel+ reqresp, channel basic, channel
+request-respond, on a random tree and a chain.
+Shape targets: the channel reqresp beats Pregel+ reqresp on both time and
+bytes (positional responses are a constant ~33% smaller); reqresp halves
+the superstep count vs basic.
+"""
+
+import pytest
+
+
+@pytest.mark.parametrize("dataset", ["tree", "chain"])
+@pytest.mark.parametrize(
+    "program", ["pregel-basic", "pregel-reqresp", "channel-basic", "channel-reqresp"]
+)
+def test_table5_reqresp(cell, dataset, program):
+    row = cell("pj", program, dataset)
+    assert row["supersteps"] > 2

@@ -1,0 +1,31 @@
+"""Benchmark helpers.
+
+Every benchmark runs one experiment *cell* (Tables IV–VII) exactly once —
+the engines are deterministic, and a cell is seconds-long, so repeated
+rounds would only slow the suite.  The paper's metrics (simulated
+runtime, message MB, supersteps) land in ``extra_info`` next to the
+wall-clock numbers pytest-benchmark reports.
+"""
+
+import pytest
+
+from repro.bench.runner import run_cell
+
+
+@pytest.fixture
+def cell(benchmark):
+    """Run one (algorithm, program, dataset) cell under the benchmark."""
+
+    def _run(algorithm, program, dataset, partitioned=False, **kwargs):
+        row = benchmark.pedantic(
+            run_cell,
+            args=(algorithm, program, dataset, partitioned),
+            kwargs=kwargs,
+            rounds=1,
+            iterations=1,
+            warmup_rounds=0,
+        )
+        benchmark.extra_info.update(row)
+        return row
+
+    return _run

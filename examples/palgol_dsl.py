@@ -1,0 +1,72 @@
+"""The declarative pipeline: Palgol-lite specs compiled to channels.
+
+The paper's conclusion sketches its future work — compiling the Palgol
+DSL down to the channel system so that non-expert users get the
+optimizations for free.  This example runs that pipeline: the S-V
+algorithm written as the paper's own Palgol listing, compiled twice —
+once with standard channels only, once letting the compiler pick
+optimized channels — plus a custom spec written from scratch.
+
+Run:  python examples/palgol_dsl.py
+"""
+
+import numpy as np
+
+from repro.core.combiner import MIN_I64
+from repro.graph import rmat
+from repro.palgol import (
+    Assign,
+    Field,
+    If,
+    Let,
+    Lt,
+    NeighborReduce,
+    PalgolSpec,
+    Var,
+    VertexId,
+    run_palgol,
+    sv_spec,
+)
+
+
+def main():
+    graph = rmat(11, edge_factor=6, seed=9, directed=False)
+    print(f"input: {graph}\n")
+
+    # -- the paper's S-V listing, compiled both ways --------------------
+    spec = sv_spec()
+    print("S-V from the paper's Palgol listing:")
+    results = {}
+    for optimize in (False, True):
+        fields, res = run_palgol(spec, graph, optimize=optimize, num_workers=8)
+        results[optimize] = fields["D"]
+        m = res.metrics
+        mode = "optimized channels" if optimize else "standard channels "
+        print(
+            f"  {mode}: sim {m.simulated_time:7.4f}s  "
+            f"net {m.total_net_bytes / 1e6:6.2f} MB  supersteps {res.supersteps}"
+        )
+    assert (results[True] == results[False]).all()
+    print("  identical component labels either way\n")
+
+    # -- a custom spec: distance-2 minimum id ---------------------------------
+    # every vertex learns the smallest id within two hops (one
+    # NeighborReduce per round, two fixpoint-free rounds)
+    two_hop = PalgolSpec(
+        name="twohop-min",
+        fields={"m": VertexId()},
+        iterate=2,
+        body=[
+            Let("t", NeighborReduce(MIN_I64, Field("m"))),
+            If(Lt(Var("t"), Field("m")), then=[Assign("m", Var("t"))]),
+        ],
+    )
+    fields, res = run_palgol(two_hop, graph, num_workers=8)
+    sample = sorted(np.unique(fields["m"]).tolist())[:8]
+    print("custom two-hop-min spec:")
+    print(f"  supersteps {res.supersteps}, distinct labels {np.unique(fields['m']).size}")
+    print(f"  smallest labels in use: {sample}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""Command-line interface: run any library algorithm on a dataset.
+
+Examples::
+
+    python -m repro run pagerank --dataset wikipedia --variant scatter
+    python -m repro run sv --dataset twitter --variant both --workers 16
+    python -m repro run wcc --graph my_edges.txt --variant prop --partitioned
+    python -m repro datasets
+    python -m repro tables 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.bench.datasets import DATASETS, load_dataset, table3_rows
+from repro.bench.runner import CELLS
+from repro.graph.io import load_edgelist
+from repro.graph.partition import metis_like_partition
+
+__all__ = ["main"]
+
+#: algorithm -> its channel-system variants exposed on the CLI
+VARIANTS = {
+    "pagerank": {
+        "basic": ("pr", "channel-basic"),
+        "scatter": ("pr", "channel-scatter"),
+        "mirror": ("pr", "channel-mirror"),
+    },
+    "pj": {"basic": ("pj", "channel-basic"), "reqresp": ("pj", "channel-reqresp")},
+    "wcc": {"basic": ("wcc", "channel-basic"), "prop": ("wcc", "channel-prop")},
+    "sv": {
+        "basic": ("sv", "channel-basic"),
+        "reqresp": ("sv", "channel-reqresp"),
+        "scatter": ("sv", "channel-scatter"),
+        "both": ("sv", "channel-both"),
+    },
+    "scc": {"basic": ("scc", "channel-basic"), "prop": ("scc", "channel-prop")},
+    "msf": {"basic": ("msf", "channel-basic")},
+    "sssp": {"basic": ("sssp", "channel-basic"), "prop": ("sssp", "channel-prop")},
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="channel-based vertex-centric graph processing"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm and print metrics")
+    run.add_argument("algorithm", choices=sorted(VARIANTS))
+    src = run.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=sorted(DATASETS), help="built-in dataset")
+    src.add_argument("--graph", help="edge-list file (see repro.graph.io)")
+    run.add_argument("--variant", default="basic")
+    run.add_argument("--workers", type=int, default=8)
+    run.add_argument(
+        "--partitioned",
+        action="store_true",
+        help="use the METIS-like partitioner instead of hash partitioning",
+    )
+    run.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sub.add_parser("datasets", help="print the Table III dataset inventory")
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("which", nargs="*", help="table numbers (default: all)")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    variants = VARIANTS[args.algorithm]
+    if args.variant not in variants:
+        print(
+            f"unknown variant {args.variant!r} for {args.algorithm}; "
+            f"choose from {sorted(variants)}",
+            file=sys.stderr,
+        )
+        return 2
+    algo, program = variants[args.variant]
+    runner = CELLS[(algo, program)]
+
+    graph = load_dataset(args.dataset) if args.dataset else load_edgelist(args.graph)
+    kwargs = {"num_workers": args.workers}
+    if args.partitioned:
+        kwargs["partition"] = metis_like_partition(graph, args.workers, seed=0)
+
+    out = runner(graph, **kwargs)
+    result = out[-1]
+    m = result.metrics
+    row = {
+        "algorithm": args.algorithm,
+        "variant": args.variant,
+        "graph": args.dataset or args.graph,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_input_edges,
+        "workers": args.workers,
+        **m.summary(),
+    }
+    if args.json:
+        print(json.dumps(row))
+    else:
+        for k, v in row.items():
+            if isinstance(v, float):
+                v = round(v, 6)
+            print(f"{k:16s} {v}")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    rows = table3_rows()
+    cols = list(rows[0])
+    print("  ".join(c.ljust(12) for c in cols))
+    for r in rows:
+        print("  ".join(str(r[c]).ljust(12) for c in cols))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "tables":
+        from repro.bench.tables import main as tables_main
+
+        tables_main(args.which)
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Shared helpers for the algorithm modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import EngineResult
+
+__all__ = ["gather", "run_engine"]
+
+
+def gather(result: EngineResult, n: int, dtype=np.int64) -> np.ndarray:
+    """Turn ``result.data`` (global id -> value) into a dense array."""
+    out = np.empty(n, dtype=dtype)
+    for vid, val in result.data.items():
+        out[vid] = val
+    return out
+
+
+def run_engine(engine_cls, graph, program, **kwargs):
+    """Instantiate and run an engine; forwards partition/num_workers/etc."""
+    max_supersteps = kwargs.pop("max_supersteps", 100_000)
+    engine = engine_cls(graph, program, **kwargs)
+    return engine.run(max_supersteps=max_supersteps)

@@ -1,0 +1,149 @@
+"""PageRank with channels (Fig. 1 of the paper).
+
+Two variants:
+
+* ``PageRankBasic`` — a ``CombinedMessage`` for rank shares plus an
+  ``Aggregator`` collecting dead-end rank (the paper's Fig. 1 verbatim).
+* ``PageRankScatter`` — the one-line change of Section III-B: the message
+  channel becomes a ``ScatterCombine`` (static messaging pattern), which
+  the paper reports as a 3.03–3.16× speedup with ~1/3 fewer message bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms._common import gather
+from repro.core import (
+    Aggregator,
+    ChannelEngine,
+    CombinedMessage,
+    MirroredScatter,
+    ScatterCombine,
+    SUM_F64,
+    Vertex,
+    VertexProgram,
+)
+from repro.graph.graph import Graph
+
+__all__ = ["PageRankBasic", "PageRankScatter", "run_pagerank"]
+
+DAMPING = 0.85
+DEFAULT_ITERS = 30
+
+
+class _PageRankBase(VertexProgram):
+    """Common PageRank logic; subclasses provide the message channel."""
+
+    iterations = DEFAULT_ITERS
+
+    def __init__(self, worker):
+        super().__init__(worker)
+        self.agg = Aggregator(worker, SUM_F64)
+        self.rank = np.zeros(worker.num_local)
+
+    # subclasses: read the combined share sum for v
+    def _incoming(self, v: Vertex) -> float:
+        raise NotImplementedError
+
+    # subclasses: send share to all of v's out-edges
+    def _outgoing(self, v: Vertex, share: float) -> None:
+        raise NotImplementedError
+
+    def _setup(self, v: Vertex) -> None:
+        """First-superstep channel initialization hook."""
+
+    def compute(self, v: Vertex) -> None:
+        n = self.num_vertices
+        if self.step_num == 1:
+            self._setup(v)
+            self.rank[v.local] = 1.0 / n
+        else:
+            # s: rank mass collected from dead ends, redistributed uniformly
+            s = self.agg.result() / n
+            self.rank[v.local] = (1.0 - DAMPING) / n + DAMPING * (
+                self._incoming(v) + s
+            )
+        if self.step_num <= self.iterations:
+            num_edges = v.out_degree
+            if num_edges > 0:
+                self._outgoing(v, self.rank[v.local] / num_edges)
+            else:
+                self.agg.add(self.rank[v.local])
+        else:
+            v.vote_to_halt()
+
+    def finalize(self) -> dict:
+        return {
+            int(g): float(self.rank[i])
+            for i, g in enumerate(self.worker.local_ids)
+        }
+
+
+class PageRankBasic(_PageRankBase):
+    """Standard-channel PageRank (CombinedMessage + Aggregator)."""
+
+    def __init__(self, worker):
+        super().__init__(worker)
+        self.msg = CombinedMessage(worker, SUM_F64)
+
+    def _incoming(self, v: Vertex) -> float:
+        return float(self.msg.get_message(v))
+
+    def _outgoing(self, v: Vertex, share: float) -> None:
+        send = self.msg.send_message
+        for e in v.edges:
+            send(int(e), share)
+
+
+class PageRankScatter(_PageRankBase):
+    """ScatterCombine PageRank — the paper's one-line optimization."""
+
+    def __init__(self, worker):
+        super().__init__(worker)
+        self.msg = ScatterCombine(worker, SUM_F64)
+
+    def _setup(self, v: Vertex) -> None:
+        if v.out_degree > 0:
+            self.msg.add_edges(v, v.edges)
+
+    def _incoming(self, v: Vertex) -> float:
+        return float(self.msg.get_message(v))
+
+    def _outgoing(self, v: Vertex, share: float) -> None:
+        self.msg.set_message(v, share)
+
+
+class PageRankMirrored(PageRankScatter):
+    """PageRank over the :class:`MirroredScatter` extension channel
+    (mirroring as a channel — sender-side combining above a degree
+    threshold, receiver-side expansion)."""
+
+    mirror_threshold = 16
+
+    def __init__(self, worker):
+        _PageRankBase.__init__(self, worker)
+        self.msg = MirroredScatter(worker, SUM_F64, threshold=self.mirror_threshold)
+
+
+_VARIANTS = {
+    "basic": PageRankBasic,
+    "scatter": PageRankScatter,
+    "mirror": PageRankMirrored,
+}
+
+
+def run_pagerank(
+    graph: Graph,
+    variant: str = "basic",
+    iterations: int = DEFAULT_ITERS,
+    **engine_kwargs,
+):
+    """Run PageRank; returns ``(ranks, EngineResult)``.
+
+    ``variant`` is ``"basic"``, ``"scatter"``, or ``"mirror"``.
+    """
+    base = _VARIANTS[variant]
+    program = type(base.__name__, (base,), {"iterations": iterations})
+    result = ChannelEngine(graph, program, **engine_kwargs).run()
+    return gather(result, graph.num_vertices, dtype=np.float64), result

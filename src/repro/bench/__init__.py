@@ -1,0 +1,28 @@
+"""Experiment harness: scaled datasets (Table III), cell runners, and
+row-for-row regenerators for Tables IV–VII."""
+
+from repro.bench.datasets import DATASETS, load_dataset, table3_rows
+from repro.bench.runner import run_cell
+from repro.bench.tables import (
+    table4,
+    table5_scatter,
+    table5_reqresp,
+    table5_prop,
+    table6,
+    table7,
+    render_rows,
+)
+
+__all__ = [
+    "DATASETS",
+    "load_dataset",
+    "table3_rows",
+    "run_cell",
+    "table4",
+    "table5_scatter",
+    "table5_reqresp",
+    "table5_prop",
+    "table6",
+    "table7",
+    "render_rows",
+]

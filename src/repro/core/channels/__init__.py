@@ -1,0 +1,19 @@
+"""Channel library: standard (Table I) and optimized (Table II) channels."""
+
+from repro.core.channels.direct import DirectMessage
+from repro.core.channels.combined import CombinedMessage
+from repro.core.channels.aggregator import Aggregator
+from repro.core.channels.scatter_combine import ScatterCombine
+from repro.core.channels.request_respond import RequestRespond
+from repro.core.channels.propagation import Propagation
+from repro.core.channels.mirrored_scatter import MirroredScatter
+
+__all__ = [
+    "DirectMessage",
+    "CombinedMessage",
+    "Aggregator",
+    "ScatterCombine",
+    "RequestRespond",
+    "Propagation",
+    "MirroredScatter",
+]

@@ -1,0 +1,85 @@
+"""``Aggregator``: global reduction channel (Table I).
+
+Two exchange rounds per superstep: every worker sends its local partial to
+the master (worker 0), which combines them and broadcasts the global value
+back.  ``result()`` returns the aggregate of the *previous* superstep's
+contributions, matching Pregel's aggregator semantics (Fig. 1 reads
+``agg.result()`` one superstep after ``agg.add``).
+"""
+
+from __future__ import annotations
+
+from repro.core.channel import Channel
+from repro.core.combiner import Combiner
+from repro.core.worker import Worker
+
+__all__ = ["Aggregator"]
+
+_MASTER = 0
+
+
+class Aggregator(Channel):
+    """Global all-reduce over values contributed by vertices.
+
+    Parameters
+    ----------
+    worker:
+        Owning worker.
+    combiner:
+        Reduction operation and identity (paper: ``Combiner<ValT> c``).
+    """
+
+    def __init__(self, worker: Worker, combiner: Combiner) -> None:
+        super().__init__(worker)
+        self.combiner = combiner
+        self.value_codec = combiner.codec
+        self._partial = combiner.identity
+        self._contributed = False
+        self._result = combiner.identity
+        self._global = combiner.identity  # master-only scratch
+
+    # -- contributing (during compute) ----------------------------------
+    def add(self, value) -> None:
+        self._partial = self.combiner.combine(self._partial, value)
+        self._contributed = True
+
+    # -- reading (next superstep) ------------------------------------------
+    def result(self):
+        """The aggregate of all ``add`` calls from the previous superstep
+        (the combiner identity when nothing was contributed)."""
+        return self._result
+
+    # -- round protocol ----------------------------------------------------
+    def serialize(self) -> None:
+        me = self.worker.worker_id
+        if self.round == 0:
+            # everyone ships its partial to the master
+            self.emit(_MASTER, self.value_codec.encode_one(self._partial))
+            if me != _MASTER:
+                self.count_net_messages(1)
+            self._partial = self.combiner.identity
+            self._contributed = False
+        elif self.round == 1 and me == _MASTER:
+            payload = self.value_codec.encode_one(self._global)
+            for peer in range(self.num_workers):
+                self.emit(peer, payload)
+            self.count_net_messages(self.num_workers - 1)
+
+    def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
+        if self.round == 0:
+            if self.worker.worker_id == _MASTER:
+                acc = self.combiner.identity
+                for _src, payload in payloads:
+                    acc = self.combiner.combine(
+                        acc, self.value_codec.decode_one(payload)
+                    )
+                self._global = acc
+        elif self.round == 1:
+            for _src, payload in payloads:
+                self._result = self.value_codec.decode_one(payload)
+        self.round += 1
+
+    def again(self) -> bool:
+        # the master requests the broadcast round; everyone participates
+        # because the channel group stays active while any instance says so
+        return self.round == 1 and self.worker.worker_id == _MASTER

@@ -1,0 +1,272 @@
+"""``Propagation``: accelerated label propagation (Fig. 7).
+
+A simplified GAS model for propagation-based algorithms (connected
+components, reachability labels, SSSP relaxation): each vertex holds a
+value, and an update to a vertex is folded into its out-neighbors with a
+commutative, *idempotent* combiner (min/max-style selection).  Instead of
+one neighbor hop per superstep, every worker drives the propagation to a
+**local fixpoint** between buffer exchanges, and the channel keeps
+requesting exchange rounds until no worker has pending remote updates —
+the whole propagation converges inside a single superstep, like a
+Blogel block program but without user-written block code.
+
+The combiner must be a selection operation (``h(a, a) == a``); this is the
+class of computations the paper targets with this channel.  An optional
+vectorized ``edge_fn(weights, values) -> contributions`` generalizes to
+weighted relaxations (SSSP's ``dist + w``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.channel import Channel
+from repro.core.combiner import Combiner
+from repro.core.vertex import Vertex
+from repro.core.worker import Worker
+from repro.runtime.serialization import INT32
+from repro.util import expand_ranges, group_starts
+
+__all__ = ["Propagation"]
+
+
+class Propagation(Channel):
+    """Propagate values to a global fixpoint within one superstep.
+
+    Parameters
+    ----------
+    worker:
+        Owning worker.
+    combiner:
+        Idempotent selection combiner (e.g. ``MIN_I64``); must carry a
+        ufunc — the local fixpoint is fully vectorized.
+    edge_fn:
+        Optional vectorized ``(edge_weights, source_values) ->
+        contributions``.  Default propagates the source value unchanged.
+    """
+
+    def __init__(
+        self,
+        worker: Worker,
+        combiner: Combiner,
+        edge_fn: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        max_local_hops: int | None = None,
+    ) -> None:
+        super().__init__(worker)
+        if combiner.ufunc is None:
+            raise ValueError("Propagation requires a combiner with a NumPy ufunc")
+        if max_local_hops is not None and max_local_hops < 1:
+            raise ValueError("max_local_hops must be >= 1")
+        self.combiner = combiner
+        self.edge_fn = edge_fn
+        self.value_codec = combiner.codec
+        #: ablation knob (D4b in DESIGN.md): cap the local fixpoint at this
+        #: many frontier waves per exchange round.  ``1`` degenerates to
+        #: plain per-superstep message passing (local edges still resolve
+        #: immediately, remote ones wait for the next round); ``None`` is
+        #: the paper's full block-style convergence.
+        self.max_local_hops = max_local_hops
+        n = worker.num_local
+        self._values = np.full(n, combiner.identity, dtype=combiner.codec.dtype)
+        self._dirty: list[int] = []
+        # adjacency under construction
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._w: list[float] = []
+        self._built = False
+        # finalized local CSR
+        self._indptr = np.zeros(n + 1, dtype=np.int64)
+        self._edst_global = np.empty(0, dtype=np.int64)
+        self._edst_local = np.empty(0, dtype=np.int64)  # -1 when remote
+        self._eowner = np.empty(0, dtype=np.int64)
+        self._eweight = np.empty(0, dtype=np.float64)
+        # pending remote contributions (flat, combined lazily per peer)
+        self._pending_np: list[tuple[np.ndarray, np.ndarray]] = []
+        # frontier waves deferred by the max_local_hops budget
+        self._deferred: list[np.ndarray] = []
+
+    # -- setup ------------------------------------------------------------
+    def add_edge(self, v: Vertex, dst: int, weight: float = 1.0) -> None:
+        """Register a propagation edge ``v -> dst``."""
+        self._src.append(v.local)
+        self._dst.append(dst)
+        self._w.append(weight)
+        self._built = False
+
+    def add_edges(self, v: Vertex, dsts: np.ndarray, weights: np.ndarray | None = None) -> None:
+        k = len(dsts)
+        self._src.extend([v.local] * k)
+        self._dst.extend(np.asarray(dsts).tolist())
+        if weights is None:
+            self._w.extend([1.0] * k)
+        else:
+            self._w.extend(np.asarray(weights, dtype=np.float64).tolist())
+        self._built = False
+
+    def set_value(self, v: Vertex, value) -> None:
+        """Seed ``v``'s value; it becomes a propagation source this
+        superstep."""
+        self._values[v.local] = value
+        self._dirty.append(v.local)
+
+    def get_value(self, v: Vertex):
+        """The converged value of ``v`` (valid once propagation finished,
+        i.e. from the next superstep on)."""
+        return self._values[v.local]
+
+    def values_snapshot(self) -> np.ndarray:
+        """Copy of this worker's converged value array (finalize helper)."""
+        return self._values.copy()
+
+    def reset(self) -> None:
+        """Clear edges and values for reuse in a later phase.
+
+        Extension over the paper's API: multi-phase algorithms (e.g.
+        Min-Label SCC) re-run propagation on a shrinking subgraph each
+        iteration, which needs the channel to be re-seedable.
+        """
+        self._src, self._dst, self._w = [], [], []
+        self._built = False
+        self._values[:] = self.combiner.identity
+        self._dirty = []
+        self._pending_np = []
+        self._deferred = []
+
+    # -- structure -----------------------------------------------------------
+    def _build(self) -> None:
+        n = self.worker.num_local
+        src = np.asarray(self._src, dtype=np.int64)
+        dst = np.asarray(self._dst, dtype=np.int64)
+        w = np.asarray(self._w, dtype=np.float64)
+        order = np.argsort(src, kind="stable")
+        src, dst, w = src[order], dst[order], w[order]
+        counts = np.bincount(src, minlength=n)
+        self._indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._indptr[1:])
+        self._edst_global = dst
+        self._eowner = self.worker.owner[dst] if dst.size else dst.copy()
+        local = np.full(dst.size, -1, dtype=np.int64)
+        mine = self._eowner == self.worker.worker_id
+        if mine.any():
+            local[mine] = self.worker._local_index[dst[mine]]
+        self._edst_local = local
+        self._eweight = w
+        self._built = True
+
+    # -- the local fixpoint (vectorized frontier relaxation) -------------------
+    def _local_fixpoint(self, frontier: np.ndarray) -> None:
+        values = self._values
+        combiner = self.combiner
+        ufunc = combiner.ufunc
+        indptr = self._indptr
+        hops = 0
+        while frontier.size:
+            if self.max_local_hops is not None and hops >= self.max_local_hops:
+                # hop budget exhausted: park the remaining frontier until
+                # the next exchange round
+                self._deferred.append(frontier)
+                return
+            hops += 1
+            counts = indptr[frontier + 1] - indptr[frontier]
+            eidx = expand_ranges(indptr[frontier], counts)
+            if eidx.size == 0:
+                return
+            contrib = values[np.repeat(frontier, counts)]
+            if self.edge_fn is not None:
+                contrib = np.asarray(
+                    self.edge_fn(self._eweight[eidx], contrib),
+                    dtype=self.value_codec.dtype,
+                )
+            tgt_local = self._edst_local[eidx]
+            remote = tgt_local < 0
+            if remote.any():
+                self._pending_np.append(
+                    (self._edst_global[eidx[remote]], contrib[remote])
+                )
+            lmask = ~remote
+            if not lmask.any():
+                return
+            tgt = tgt_local[lmask]
+            c = contrib[lmask]
+            order = np.argsort(tgt, kind="stable")
+            tgt_sorted, c_sorted = tgt[order], c[order]
+            uniq_tgt, starts = group_starts(tgt_sorted)
+            folded = ufunc.reduceat(c_sorted, starts)
+            new = ufunc(values[uniq_tgt], folded)
+            changed = new != values[uniq_tgt]
+            upd = uniq_tgt[changed]
+            values[upd] = new[changed]
+            frontier = upd
+            if upd.size:
+                self.worker.activate_local_bulk(upd)
+
+    def _pending_per_peer(self) -> list[tuple[np.ndarray, np.ndarray]] | None:
+        """Combine flat pending (dst, value) pairs per unique destination
+        and split by owning worker; returns None when nothing is pending."""
+        if not self._pending_np:
+            return None
+        dst = np.concatenate([d for d, _ in self._pending_np])
+        val = np.concatenate([v for _, v in self._pending_np])
+        self._pending_np = []
+        order = np.argsort(dst, kind="stable")
+        dst, val = dst[order], val[order]
+        uniq, starts = group_starts(dst)
+        folded = self.combiner.ufunc.reduceat(val, starts)
+        owners = self.worker.owner[uniq]
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        for peer in range(self.num_workers):
+            sel = owners == peer
+            out.append((uniq[sel], folded[sel]))
+        return out
+
+    # -- round protocol -----------------------------------------------------
+    def serialize(self) -> None:
+        if self.round == 0:
+            if not self._built:
+                self._build()
+            if self._dirty:
+                frontier = np.unique(np.asarray(self._dirty, dtype=np.int64))
+                self._dirty = []
+                self._local_fixpoint(frontier)
+        pending = self._pending_per_peer()
+        if pending is None:
+            return
+        net_msgs = 0
+        for peer, (dst, val) in enumerate(pending):
+            if dst.size == 0:
+                continue
+            payload = dst.astype(np.int32).tobytes() + self.value_codec.encode_array(val)
+            self.emit(peer, payload)
+            if peer != self.worker.worker_id:
+                net_msgs += int(dst.size)
+        self.count_net_messages(net_msgs)
+
+    def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
+        self.round += 1
+        worker = self.worker
+        itemsize = INT32.itemsize + self.value_codec.itemsize
+        changed_all: list[np.ndarray] = []
+        for _src, payload in payloads:
+            count = len(payload) // itemsize
+            dst = INT32.decode_array(payload[: count * INT32.itemsize]).astype(np.int64)
+            vals = self.value_codec.decode_array(payload[count * INT32.itemsize :], count)
+            local = worker._local_index[dst]
+            old = self._values[local]
+            new = self.combiner.ufunc(old, vals)
+            chg = new != old
+            if chg.any():
+                upd = local[chg]
+                self._values[upd] = new[chg]
+                changed_all.append(upd)
+        if self._deferred:
+            changed_all.extend(self._deferred)
+            self._deferred = []
+        if changed_all:
+            frontier = np.unique(np.concatenate(changed_all))
+            worker.activate_local_bulk(frontier)
+            self._local_fixpoint(frontier)
+
+    def again(self) -> bool:
+        return bool(self._pending_np) or bool(self._deferred)

@@ -1,0 +1,192 @@
+"""``ScatterCombine``: the static-messaging-pattern channel (Fig. 5).
+
+For algorithms where every vertex sends one value to *all* of its
+neighbors every superstep (PageRank, the S-V tree-merging broadcast), the
+message dispatch structure never changes.  This channel pre-sorts the
+worker's local edge list by destination once; every subsequent superstep
+produces the per-destination combined values with a single segmented
+reduction over that sorted order — no hashing, no per-message routing.
+
+Sender-side combining across local edges also removes the redundant
+(destination, value) records a basic implementation would emit once per
+edge: each unique destination is sent at most once per worker per
+superstep, which is where the paper's ~1/3 message-size reduction on
+PageRank comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.channel import Channel
+from repro.core.combiner import Combiner
+from repro.core.vertex import Vertex
+from repro.core.worker import Worker
+from repro.runtime.serialization import INT32
+from repro.util import group_starts
+
+__all__ = ["ScatterCombine"]
+
+
+class ScatterCombine(Channel):
+    """Scatter one value per vertex along static edges, combine per receiver.
+
+    Parameters
+    ----------
+    worker:
+        Owning worker.
+    combiner:
+        Reduction applied to all values arriving at one vertex (must carry
+        a NumPy ufunc; all built-ins do).
+    """
+
+    def __init__(self, worker: Worker, combiner: Combiner, use_hash: bool = False) -> None:
+        super().__init__(worker)
+        self.combiner = combiner
+        self.value_codec = combiner.codec
+        #: ablation switch (D2 in DESIGN.md): combine per destination with
+        #: a hash map instead of the pre-sorted linear scan of Fig. 5
+        self.use_hash = use_hash
+        # edge collection phase
+        self._edge_src: list[int] = []
+        self._edge_dst: list[int] = []
+        self._built = False
+        # per-superstep state
+        self._values = np.full(
+            worker.num_local, combiner.identity, dtype=combiner.codec.dtype
+        )
+        self._sent_mask = np.zeros(worker.num_local, dtype=bool)
+        self._dirty = False
+        # receive side
+        self._slots = np.full(
+            worker.num_local, combiner.identity, dtype=combiner.codec.dtype
+        )
+        self._has_msg = np.zeros(worker.num_local, dtype=bool)
+        # static dispatch structure (built lazily)
+        self._seg_edge_src: np.ndarray | None = None  # edge -> sender local idx
+        self._seg_starts: np.ndarray | None = None  # segment starts (per unique dst)
+        self._edge_dst_sorted: np.ndarray = np.empty(0, dtype=np.int64)
+        self._uniq_dst_wire: list[np.ndarray] = []  # per peer: int32 dst ids
+        self._uniq_positions: list[np.ndarray] = []  # per peer: positions in uniq order
+
+    # -- setup (usually superstep 1) ----------------------------------------
+    def add_edge(self, v: Vertex, dst: int) -> None:
+        """Register a static edge from ``v`` to global vertex ``dst``."""
+        self._edge_src.append(v.local)
+        self._edge_dst.append(dst)
+        self._built = False
+
+    def add_edges(self, v: Vertex, dsts: np.ndarray) -> None:
+        """Register all of ``v``'s static out-edges at once."""
+        self._edge_src.extend([v.local] * len(dsts))
+        self._edge_dst.extend(np.asarray(dsts).tolist())
+        self._built = False
+
+    def _build(self) -> None:
+        """Pre-sort edges by destination (the one-time cost of Fig. 5)."""
+        src = np.asarray(self._edge_src, dtype=np.int64)
+        dst = np.asarray(self._edge_dst, dtype=np.int64)
+        order = np.argsort(dst, kind="stable")
+        dst_sorted = dst[order]
+        self._seg_edge_src = src[order]
+        self._edge_dst_sorted = dst_sorted  # kept for the D2 hash ablation
+        uniq_dst, starts = group_starts(dst_sorted)
+        self._seg_starts = starts
+
+        owners = self.worker.owner[uniq_dst]
+        self._uniq_dst_wire = []
+        self._uniq_positions = []
+        for peer in range(self.num_workers):
+            pos = np.flatnonzero(owners == peer)
+            self._uniq_positions.append(pos)
+            self._uniq_dst_wire.append(uniq_dst[pos].astype(np.int32))
+        self._built = True
+
+    # -- per-superstep API ---------------------------------------------------
+    def set_message(self, v: Vertex, value) -> None:
+        """Set the value ``v`` scatters to all its registered edges this
+        superstep."""
+        self._values[v.local] = value
+        self._sent_mask[v.local] = True
+        self._dirty = True
+
+    # alias matching the paper's prose ("emits an initial message using the
+    # send_message() interface")
+    send_message = set_message
+
+    def get_message(self, v: Vertex):
+        """Combined value of everything scattered to ``v`` last superstep."""
+        return self._slots[v.local]
+
+    def has_message(self, v: Vertex) -> bool:
+        return bool(self._has_msg[v.local])
+
+    # -- round protocol -----------------------------------------------------
+    def serialize(self) -> None:
+        if self.round != 0 or not self._dirty:
+            return
+        if not self._built:
+            self._build()
+        assert self._seg_edge_src is not None and self._seg_starts is not None
+        self._dirty = False
+        self._sent_mask[:] = False
+        if self._seg_edge_src.size == 0:
+            return
+        if self.use_hash:
+            combined = self._hash_combine()
+        else:
+            # Fig. 5: one linear pass over the pre-sorted edges produces
+            # the combined message value for every unique destination.
+            per_edge = self._values[self._seg_edge_src]
+            combined = self.combiner.reduceat(per_edge, self._seg_starts)
+        net_msgs = 0
+        for peer in range(self.num_workers):
+            pos = self._uniq_positions[peer]
+            if pos.size == 0:
+                continue
+            payload = self._uniq_dst_wire[peer].tobytes() + self.value_codec.encode_array(
+                combined[pos]
+            )
+            self.emit(peer, payload)
+            if peer != self.worker.worker_id:
+                net_msgs += int(pos.size)
+        self.count_net_messages(net_msgs)
+
+    def _hash_combine(self) -> np.ndarray:
+        """D2 ablation: the general-case per-message hash combining that a
+        basic message channel performs — one lookup and one combine per
+        edge.  Because the edges are iterated in sorted-destination order,
+        dict insertion order equals the sorted-unique order the linear
+        scan produces, so results are identical; only the cost differs."""
+        assert self._seg_edge_src is not None
+        fn = self.combiner.fn
+        values = self._values
+        table: dict = {}
+        for dst, src in zip(
+            self._edge_dst_sorted.tolist(), self._seg_edge_src.tolist()
+        ):
+            val = values[src]
+            if dst in table:
+                table[dst] = fn(table[dst], val)
+            else:
+                table[dst] = val
+        return np.fromiter(
+            table.values(), dtype=self.value_codec.dtype, count=len(table)
+        )
+
+    def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
+        self.round += 1
+        worker = self.worker
+        self._slots[:] = self.combiner.identity
+        self._has_msg[:] = False
+        if not payloads:
+            return
+        itemsize = INT32.itemsize + self.value_codec.itemsize
+        for _src, payload in payloads:
+            count = len(payload) // itemsize
+            dst = INT32.decode_array(payload[: count * INT32.itemsize]).astype(np.int64)
+            vals = self.value_codec.decode_array(payload[count * INT32.itemsize :], count)
+            local = worker._local_index[dst]
+            self.combiner.accumulate_at(self._slots, local, vals)
+            self._has_msg[local] = True
+        worker.activate_local_bulk(np.flatnonzero(self._has_msg))

@@ -1,0 +1,183 @@
+"""The channel engine: the superstep loop of Fig. 4.
+
+The engine creates one :class:`~repro.core.worker.Worker` per partition
+block, instantiates the user's :class:`~repro.core.program.VertexProgram`
+on each, and then alternates vertex compute with channel exchange rounds
+until every vertex has voted to halt and no channel requests another round.
+
+Both compute time (max over workers, i.e. parallel makespan) and modeled
+network time are accumulated into the run's
+:class:`~repro.runtime.metrics.MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.worker import Worker
+from repro.graph.graph import Graph
+from repro.graph.partition import hash_partition
+from repro.runtime.buffers import BufferExchange
+from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
+from repro.runtime.metrics import MetricsCollector
+
+__all__ = ["ChannelEngine", "EngineResult"]
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run."""
+
+    data: dict = field(default_factory=dict)
+    metrics: MetricsCollector | None = None
+
+    @property
+    def supersteps(self) -> int:
+        return self.metrics.supersteps if self.metrics else 0
+
+
+class ChannelEngine:
+    """Runs a channel-based vertex program over a partitioned graph.
+
+    Parameters
+    ----------
+    graph:
+        The input :class:`~repro.graph.graph.Graph`.
+    program_factory:
+        Callable ``(worker) -> VertexProgram``; typically the program class
+        itself.
+    num_workers:
+        Number of simulated workers (the paper used an 8-node cluster).
+    partition:
+        Optional vertex->worker array; defaults to hash partitioning, the
+        Pregel default ("vertices are randomly assigned to workers").
+    network:
+        Cost model for the simulated interconnect.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program_factory: Callable[[Worker], object],
+        num_workers: int = 8,
+        partition: np.ndarray | None = None,
+        network: NetworkModel = DEFAULT_NETWORK,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.graph = graph
+        self.num_workers = num_workers
+        if partition is None:
+            partition = hash_partition(graph.num_vertices, num_workers)
+        partition = np.asarray(partition, dtype=np.int64)
+        if partition.shape != (graph.num_vertices,):
+            raise ValueError("partition must assign every vertex")
+        if partition.size and (partition.min() < 0 or partition.max() >= num_workers):
+            raise ValueError("partition assigns vertices to unknown workers")
+        self.owner = partition
+        self.metrics = MetricsCollector(num_workers=num_workers, network=network)
+        self.step_num = 0
+
+        self.workers: list[Worker] = []
+        for w in range(num_workers):
+            local_ids = np.flatnonzero(partition == w)
+            self.workers.append(Worker(self, w, local_ids))
+        for worker in self.workers:
+            worker.program = program_factory(worker)
+
+        nchan = {len(w.channels) for w in self.workers}
+        if len(nchan) != 1:
+            raise RuntimeError(
+                "programs must construct the same channels on every worker"
+            )
+        self.num_channels = nchan.pop()
+        self._exchange = BufferExchange(self.metrics)
+
+    # -- main loop ---------------------------------------------------------
+    def run(self, max_supersteps: int = 100_000) -> EngineResult:
+        metrics = self.metrics
+        metrics.start_run()
+
+        for worker in self.workers:
+            for channel in worker.channels:
+                channel.initialize()
+
+        while True:
+            # phase controllers may wake vertices for the upcoming superstep
+            for worker in self.workers:
+                worker.program.before_superstep()
+            active_sets = [w.begin_superstep() for w in self.workers]
+            total_active = sum(a.size for a in active_sets)
+            if total_active == 0:
+                break
+            self.step_num += 1
+            if self.step_num > max_supersteps:
+                raise RuntimeError(
+                    f"exceeded max_supersteps={max_supersteps}; "
+                    "the program may not terminate"
+                )
+            metrics.start_superstep(total_active)
+
+            # 1. vertex compute (parallel across workers -> charge max)
+            for worker, active in zip(self.workers, active_sets):
+                t0 = time.perf_counter()
+                worker.run_compute(active)
+                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+
+            # 2. channel exchange rounds
+            self._exchange_phase()
+            metrics.end_superstep()
+
+        metrics.end_run()
+
+        result = EngineResult(metrics=metrics)
+        for worker in self.workers:
+            result.data.update(worker.program.finalize())
+        return result
+
+    def _exchange_phase(self) -> None:
+        metrics = self.metrics
+        for worker in self.workers:
+            for channel in worker.channels:
+                channel.reset_round()
+
+        group_active = [True] * self.num_channels
+
+        while any(group_active):
+            # serialize
+            wrote = False
+            for worker in self.workers:
+                t0 = time.perf_counter()
+                for cid, channel in enumerate(worker.channels):
+                    if group_active[cid]:
+                        channel.serialize()
+                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+                net, local = worker.buffers.out_nbytes()
+                wrote = wrote or net > 0 or local > 0
+
+            if not wrote and not any(group_active):  # pragma: no cover
+                break
+
+            # pairwise exchange (accounted by the cost model)
+            self._exchange.exchange([w.buffers for w in self.workers])
+
+            # deserialize + decide on another round
+            next_active = [False] * self.num_channels
+            for worker in self.workers:
+                t0 = time.perf_counter()
+                routed = worker.route_inbox()
+                for cid, channel in enumerate(worker.channels):
+                    if group_active[cid]:
+                        channel.deserialize(routed.get(cid, []))
+                        if channel.again():
+                            next_active[cid] = True
+                    elif cid in routed:  # pragma: no cover - defensive
+                        raise RuntimeError(
+                            f"data arrived for inactive channel {cid}"
+                        )
+                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+            group_active = next_active

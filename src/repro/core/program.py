@@ -1,0 +1,70 @@
+"""User-facing program base class.
+
+A :class:`VertexProgram` plays the role of the paper's ``Worker`` subclass
+(e.g. ``PageRankWorker`` in Fig. 1): its constructor creates the channels,
+``compute`` holds the per-vertex logic.  One instance is created per worker
+by the engine, so instance attributes are per-worker state (the idiomatic
+place for NumPy state arrays indexed by ``v.local``).
+
+Differences from the paper's C++ API, by design:
+
+* channel methods that refer to "the current vertex" take the
+  :class:`~repro.core.vertex.Vertex` handle explicitly — explicit data flow
+  is both more Pythonic and directly testable;
+* per-vertex state lives in program-owned arrays rather than a
+  ``value()`` struct, per the NumPy idiom of keeping hot state columnar.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.vertex import Vertex
+    from repro.core.worker import Worker
+
+__all__ = ["VertexProgram"]
+
+
+class VertexProgram:
+    """Base class for channel-based vertex programs."""
+
+    def __init__(self, worker: "Worker") -> None:
+        self.worker = worker
+
+    # -- the algorithm ---------------------------------------------------
+    def compute(self, v: "Vertex") -> None:
+        raise NotImplementedError
+
+    def before_superstep(self) -> None:
+        """Called once per worker before every superstep, *including* ones
+        where this worker has no active vertices.
+
+        Multi-phase algorithms (Min-Label SCC, Boruvka MSF) use this as a
+        distributed phase controller: every worker advances the same state
+        machine from globally consistent inputs (aggregator results), and
+        may wake vertices for the upcoming phase via
+        ``self.worker.activate_local_bulk``.
+        """
+
+    def finalize(self) -> dict:
+        """Called once after termination; return this worker's outputs
+        (merged across workers into :class:`EngineResult.data`).  Keys are
+        global vertex ids or named aggregates."""
+        return {}
+
+    # -- context helpers (mirror the paper's Worker API) --------------------
+    @property
+    def step_num(self) -> int:
+        """1-based superstep number (the paper's ``step_num()``)."""
+        return self.worker.step_num
+
+    @property
+    def num_vertices(self) -> int:
+        """Total vertices in the graph (the paper's ``get_vnum()``)."""
+        return self.worker.graph.num_vertices
+
+    @property
+    def num_local(self) -> int:
+        """Vertices owned by this worker."""
+        return self.worker.num_local

@@ -1,0 +1,69 @@
+"""The per-vertex handle passed to ``compute()``.
+
+One mutable handle is reused across the compute loop (the flyweight idiom —
+allocating a fresh object per vertex per superstep would dominate the
+profile).  Programs keep vertex *state* in per-worker NumPy arrays indexed
+by ``v.local``; the handle only carries identity, adjacency and the
+vote-to-halt hook.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.worker import Worker
+
+__all__ = ["Vertex"]
+
+
+class Vertex:
+    """Handle for the vertex currently being computed.
+
+    Attributes
+    ----------
+    id:
+        Global vertex identifier.
+    local:
+        Index of this vertex within its worker (``0..num_local-1``); use it
+        to index per-worker state arrays.
+    """
+
+    __slots__ = ("_worker", "id", "local")
+
+    def __init__(self, worker: "Worker") -> None:
+        self._worker = worker
+        self.id = -1
+        self.local = -1
+
+    def _bind(self, local_idx: int) -> "Vertex":
+        self.local = local_idx
+        self.id = int(self._worker.local_ids[local_idx])
+        return self
+
+    # -- adjacency ------------------------------------------------------
+    @property
+    def out_degree(self) -> int:
+        return self._worker.graph.out_degree(self.id)
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Global IDs of this vertex's out-neighbors."""
+        return self._worker.graph.neighbors(self.id)
+
+    @property
+    def edge_weights(self) -> np.ndarray:
+        return self._worker.graph.edge_weights(self.id)
+
+    # -- control ---------------------------------------------------------
+    def vote_to_halt(self) -> None:
+        self._worker.halt(self.local)
+
+    @property
+    def step_num(self) -> int:
+        return self._worker.step_num
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Vertex(id={self.id}, local={self.local})"

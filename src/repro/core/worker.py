@@ -1,0 +1,151 @@
+"""The per-worker execution context.
+
+A worker owns a disjoint set of vertices (given by the partition array),
+their active/halted flags, the channel instances registered by the
+program, and this worker's outgoing/incoming raw buffers.  It implements
+the frame layer that lets many channels share one buffer per peer: each
+channel payload is framed as ``[channel_id:int32][nbytes:int32][payload]``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.vertex import Vertex
+from repro.runtime.buffers import WorkerBuffers
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.channel import Channel
+    from repro.core.engine import ChannelEngine
+
+__all__ = ["Worker"]
+
+_FRAME = struct.Struct("<ii")  # channel_id, payload nbytes
+
+
+class Worker:
+    """One simulated worker: vertices + channels + buffers."""
+
+    def __init__(
+        self,
+        engine: "ChannelEngine",
+        worker_id: int,
+        local_ids: np.ndarray,
+    ) -> None:
+        self.engine = engine
+        self.worker_id = worker_id
+        self.graph = engine.graph
+        self.owner = engine.owner  # global vertex id -> worker id
+        self.num_workers = engine.num_workers
+        self.local_ids = np.asarray(local_ids, dtype=np.int64)
+        self.num_local = int(self.local_ids.size)
+
+        # global id -> local index (only valid for owned vertices)
+        self._local_index = np.full(self.graph.num_vertices, -1, dtype=np.int64)
+        self._local_index[self.local_ids] = np.arange(self.num_local)
+
+        # vote-to-halt state
+        self.halted = np.zeros(self.num_local, dtype=bool)
+        self.woken = np.zeros(self.num_local, dtype=bool)
+
+        self.buffers = WorkerBuffers(worker_id, self.num_workers)
+        self.channels: list["Channel"] = []
+        self._vertex = Vertex(self)
+        self.program = None  # set by the engine after construction
+
+    # -- registration -------------------------------------------------------
+    def register_channel(self, channel: "Channel") -> int:
+        cid = len(self.channels)
+        self.channels.append(channel)
+        return cid
+
+    # -- vertex bookkeeping ---------------------------------------------------
+    def local_index(self, vid: int) -> int:
+        """Local index of an owned vertex (``-1`` if not owned here)."""
+        return int(self._local_index[vid])
+
+    def owner_of(self, vid: int) -> int:
+        if not 0 <= vid < self.graph.num_vertices:
+            raise IndexError(
+                f"vertex id {vid} out of range [0, {self.graph.num_vertices})"
+            )
+        return int(self.owner[vid])
+
+    def halt(self, local_idx: int) -> None:
+        self.halted[local_idx] = True
+
+    def activate(self, vid: int) -> None:
+        """Wake an owned vertex for the next superstep (message arrival)."""
+        self.woken[self._local_index[vid]] = True
+
+    def activate_local(self, local_idx: int) -> None:
+        self.woken[local_idx] = True
+
+    def activate_local_bulk(self, local_idx: np.ndarray) -> None:
+        self.woken[local_idx] = True
+
+    def begin_superstep(self) -> np.ndarray:
+        """Resolve the active set for this superstep and reset wake flags."""
+        self.halted &= ~self.woken
+        active = np.flatnonzero(~self.halted)
+        self.woken[:] = False
+        return active
+
+    @property
+    def step_num(self) -> int:
+        return self.engine.step_num
+
+    # -- compute dispatch ------------------------------------------------------
+    def run_compute(self, active: np.ndarray) -> None:
+        program = self.program
+        v = self._vertex
+        for idx in active:
+            program.compute(v._bind(idx))
+
+    # -- frame layer -------------------------------------------------------------
+    def emit(self, channel_id: int, peer: int, payload: bytes) -> None:
+        if not payload:
+            return
+        writer = self.buffers.out[peer]
+        writer.write_bytes(_FRAME.pack(channel_id, len(payload)))
+        writer.write_bytes(payload)
+        self.engine.metrics.count_channel_bytes(
+            self._channel_label(channel_id), len(payload), local=peer == self.worker_id
+        )
+
+    def _channel_label(self, channel_id: int) -> str:
+        if 0 <= channel_id < len(self.channels):
+            return f"{channel_id}:{type(self.channels[channel_id]).__name__}"
+        return f"{channel_id}:?"  # raw emit outside the registry
+
+    def route_inbox(self) -> dict[int, list[tuple[int, memoryview]]]:
+        """Split received buffers into per-channel payload lists."""
+        routed: dict[int, list[tuple[int, memoryview]]] = {}
+        for src, data in enumerate(self.buffers.inbox):
+            if not data:
+                continue
+            view = memoryview(data)
+            offset = 0
+            end = len(view)
+            while offset < end:
+                cid, nbytes = _FRAME.unpack_from(view, offset)
+                offset += _FRAME.size
+                routed.setdefault(cid, []).append((src, view[offset : offset + nbytes]))
+                offset += nbytes
+        self.buffers.clear_inbox()
+        return routed
+
+    # -- metrics ---------------------------------------------------------------
+    def count_net_messages(self, n: int, channel_id: int | None = None) -> None:
+        if n:
+            self.engine.metrics.count_messages(n)
+            if channel_id is not None:
+                self.engine.metrics.count_channel_messages(
+                    self._channel_label(channel_id), n
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Worker({self.worker_id}, |V_local|={self.num_local})"

@@ -1,0 +1,33 @@
+"""Graph substrate: CSR graphs, generators, IO, and partitioners."""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    chain,
+    random_tree,
+    rmat,
+    erdos_renyi,
+    grid_road,
+    star,
+    complete,
+)
+from repro.graph.partition import (
+    hash_partition,
+    range_partition,
+    metis_like_partition,
+    partition_quality,
+)
+
+__all__ = [
+    "Graph",
+    "chain",
+    "random_tree",
+    "rmat",
+    "erdos_renyi",
+    "grid_road",
+    "star",
+    "complete",
+    "hash_partition",
+    "range_partition",
+    "metis_like_partition",
+    "partition_quality",
+]

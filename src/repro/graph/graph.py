@@ -1,0 +1,230 @@
+"""Compressed-sparse-row graph container.
+
+The simulator's graphs are static inputs, so one read-only CSR structure is
+shared by all simulated workers (each worker *owns* a disjoint vertex set;
+adjacency lookup is free locally, exactly as in a real Pregel worker after
+``load_graph()``).  Vertex identifiers are dense integers ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable directed or undirected graph in CSR form.
+
+    For an undirected graph every edge is stored in both directions, which
+    matches how vertex-centric systems receive undirected inputs (each
+    endpoint sees the edge in its adjacency list).
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; identifiers are ``0..num_vertices-1``.
+    src, dst:
+        Arrays of equal length giving the (directed) edge list.  For
+        undirected graphs pass each edge once and set ``directed=False``;
+        the constructor symmetrizes.
+    weights:
+        Optional per-edge weights, same length as ``src``.
+    directed:
+        Whether the edge list is to be interpreted as directed arcs.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "directed",
+        "indptr",
+        "indices",
+        "weights",
+        "_rev_indptr",
+        "_rev_indices",
+        "_rev_weights",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None = None,
+        directed: bool = True,
+    ) -> None:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have equal length")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != src.shape:
+                raise ValueError("weights must match the edge list length")
+        if src.size and (src.min() < 0 or max(src.max(), dst.max()) >= num_vertices):
+            raise ValueError("edge endpoints out of range")
+
+        if not directed:
+            # store both directions; drop self-loop duplicates introduced by
+            # symmetrization
+            loop = src == dst
+            src2 = np.concatenate([src, dst[~loop]])
+            dst2 = np.concatenate([dst, src[~loop]])
+            if weights is not None:
+                weights = np.concatenate([weights, weights[~loop]])
+            src, dst = src2, dst2
+
+        self.num_vertices = int(num_vertices)
+        self.directed = bool(directed)
+        self.indptr, self.indices, self.weights = _build_csr(
+            num_vertices, src, dst, weights
+        )
+        self._rev_indptr: np.ndarray | None = None
+        self._rev_indices: np.ndarray | None = None
+        self._rev_weights: np.ndarray | None = None
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        weights: Iterable[float] | None = None,
+        directed: bool = True,
+    ) -> "Graph":
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        w = None if weights is None else np.asarray(list(weights), dtype=np.float64)
+        return cls(num_vertices, arr[:, 0], arr[:, 1], weights=w, directed=directed)
+
+    # -- basic accessors -------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of stored arcs (undirected edges count twice)."""
+        return int(self.indices.size)
+
+    @property
+    def num_input_edges(self) -> int:
+        """Number of edges as the input counted them."""
+        return self.num_edges if self.directed else self.num_edges // 2
+
+    @property
+    def weighted(self) -> bool:
+        return self.weights is not None
+
+    def out_degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of v's out-neighbors."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for v in range(self.num_vertices):
+            for u in self.neighbors(v):
+                yield v, int(u)
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """(src, dst) arrays of all stored arcs."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees)
+        return src, self.indices.copy()
+
+    # -- reverse adjacency (for in-neighbors) -----------------------------
+    def _ensure_reverse(self) -> None:
+        if self._rev_indptr is None:
+            src, dst = self.edge_array()
+            w = self.weights
+            self._rev_indptr, self._rev_indices, self._rev_weights = _build_csr(
+                self.num_vertices, dst, src, w
+            )
+
+    def in_degree(self, v: int) -> int:
+        if not self.directed:
+            return self.out_degree(v)
+        self._ensure_reverse()
+        assert self._rev_indptr is not None
+        return int(self._rev_indptr[v + 1] - self._rev_indptr[v])
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        if not self.directed:
+            return self.neighbors(v)
+        self._ensure_reverse()
+        assert self._rev_indices is not None and self._rev_indptr is not None
+        return self._rev_indices[self._rev_indptr[v] : self._rev_indptr[v + 1]]
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        if not self.directed:
+            return self.out_degrees
+        self._ensure_reverse()
+        assert self._rev_indptr is not None
+        return np.diff(self._rev_indptr)
+
+    # -- transforms --------------------------------------------------------
+    def reverse(self) -> "Graph":
+        """Graph with every arc flipped (directed graphs)."""
+        src, dst = self.edge_array()
+        return Graph(self.num_vertices, dst, src, weights=self.weights, directed=True)
+
+    def to_undirected(self) -> "Graph":
+        src, dst = self.edge_array()
+        keep = src <= dst
+        # keep one copy of each arc pair where present; symmetrize the rest
+        return Graph(
+            self.num_vertices,
+            src,
+            dst,
+            weights=self.weights,
+            directed=False,
+        )
+
+    def relabel(self, perm: np.ndarray) -> "Graph":
+        """Apply the permutation ``perm`` (old id -> new id) to all vertices."""
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.num_vertices,):
+            raise ValueError("perm must have one entry per vertex")
+        if np.unique(perm).size != self.num_vertices:
+            raise ValueError("perm must be a permutation")
+        src, dst = self.edge_array()
+        return Graph(
+            self.num_vertices, perm[src], perm[dst], weights=self.weights, directed=True
+        )
+
+    # -- stats ---------------------------------------------------------------
+    @property
+    def avg_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_input_edges / self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "directed" if self.directed else "undirected"
+        w = ", weighted" if self.weighted else ""
+        return (
+            f"Graph({kind}{w}, |V|={self.num_vertices}, |E|={self.num_input_edges})"
+        )
+
+
+def _build_csr(
+    n: int, src: np.ndarray, dst: np.ndarray, weights: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    order = np.argsort(src, kind="stable")
+    src_sorted = src[order]
+    indices = dst[order]
+    w = None if weights is None else weights[order]
+    counts = np.bincount(src_sorted, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, indices, w

@@ -1,0 +1,100 @@
+"""Graph input/output: edge-list text and compact NPZ binary formats."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["save_edgelist", "load_edgelist", "save_npz", "load_npz"]
+
+
+def save_edgelist(graph: Graph, path: str | os.PathLike) -> None:
+    """Write one arc per line: ``src dst [weight]``.
+
+    Undirected graphs are written with each edge once (the smaller endpoint
+    first), mirroring the common SNAP/KONECT convention.
+    """
+    src, dst = graph.edge_array()
+    w = graph.weights
+    if not graph.directed:
+        keep = src <= dst
+        src, dst = src[keep], dst[keep]
+        if w is not None:
+            w = w[keep]
+    with open(path, "w") as f:
+        f.write(f"# vertices {graph.num_vertices} directed {int(graph.directed)}\n")
+        if w is None:
+            for s, d in zip(src.tolist(), dst.tolist()):
+                f.write(f"{s} {d}\n")
+        else:
+            for s, d, x in zip(src.tolist(), dst.tolist(), w.tolist()):
+                f.write(f"{s} {d} {x}\n")
+
+
+def load_edgelist(path: str | os.PathLike) -> Graph:
+    """Read the format written by :func:`save_edgelist`.
+
+    Files without the header comment are accepted; vertex count defaults to
+    ``max id + 1`` and the graph is treated as directed.
+    """
+    num_vertices = -1
+    directed = True
+    src: list[int] = []
+    dst: list[int] = []
+    weights: list[float] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if "vertices" in parts:
+                    num_vertices = int(parts[parts.index("vertices") + 1])
+                if "directed" in parts:
+                    directed = bool(int(parts[parts.index("directed") + 1]))
+                continue
+            parts = line.split()
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            if len(parts) > 2:
+                weights.append(float(parts[2]))
+    s = np.asarray(src, dtype=np.int64)
+    d = np.asarray(dst, dtype=np.int64)
+    if num_vertices < 0:
+        num_vertices = int(max(s.max(initial=-1), d.max(initial=-1)) + 1)
+    w = np.asarray(weights, dtype=np.float64) if weights else None
+    if w is not None and w.size != s.size:
+        raise ValueError("some edges have weights and some do not")
+    return Graph(num_vertices, s, d, weights=w, directed=directed)
+
+
+def save_npz(graph: Graph, path: str | os.PathLike) -> None:
+    """Compact binary save (CSR arrays directly)."""
+    payload = {
+        "num_vertices": np.int64(graph.num_vertices),
+        "directed": np.int64(graph.directed),
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | os.PathLike) -> Graph:
+    with np.load(path) as data:
+        n = int(data["num_vertices"])
+        directed = bool(data["directed"])
+        indptr = data["indptr"]
+        indices = data["indices"]
+        weights = data["weights"] if "weights" in data else None
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    # CSR already contains both arc directions for undirected graphs, so
+    # rebuild as a directed arc list and restore the flag afterwards.
+    g = Graph(n, src, indices, weights=weights, directed=True)
+    g.directed = directed
+    return g

@@ -1,0 +1,134 @@
+"""Vertex partitioners: assign each vertex to one of M workers.
+
+``hash_partition`` is the Pregel default (random assignment — what the
+paper uses except where it says "(P)").  ``metis_like_partition`` is the
+stand-in for METIS: a multi-source BFS growth that produces balanced,
+locality-preserving blocks.  The paper only needs the partitioner to cut
+few edges; any reasonable locality partitioner exhibits the same
+"partitioned graph → propagation channel wins big" effect.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "hash_partition",
+    "range_partition",
+    "metis_like_partition",
+    "partition_quality",
+]
+
+
+def hash_partition(num_vertices: int, num_workers: int, seed: int = 0) -> np.ndarray:
+    """Pseudo-random assignment, the Pregel default.
+
+    Deterministic given the seed; statistically balanced.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_workers, size=num_vertices, dtype=np.int64)
+
+
+def range_partition(num_vertices: int, num_workers: int) -> np.ndarray:
+    """Contiguous ID ranges of (nearly) equal size."""
+    return (
+        np.arange(num_vertices, dtype=np.int64) * num_workers // max(num_vertices, 1)
+    )
+
+
+def metis_like_partition(graph: Graph, num_workers: int, seed: int = 0) -> np.ndarray:
+    """Balanced BFS-grown blocks (METIS substitute).
+
+    Grows ``num_workers`` blocks breadth-first from spread-out seeds,
+    always extending the currently smallest block, so blocks are balanced
+    within one vertex of the frontier granularity and internal edges
+    dominate on graphs with locality.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    owner = np.full(n, -1, dtype=np.int64)
+    capacity = (n + num_workers - 1) // num_workers
+
+    order = rng.permutation(n)
+    frontiers: list[deque[int]] = [deque() for _ in range(num_workers)]
+    sizes = np.zeros(num_workers, dtype=np.int64)
+    next_seed = 0
+
+    def take_seed() -> int:
+        nonlocal next_seed
+        while next_seed < n and owner[order[next_seed]] != -1:
+            next_seed += 1
+        return int(order[next_seed]) if next_seed < n else -1
+
+    # initial seeds
+    for b in range(num_workers):
+        s = take_seed()
+        if s == -1:
+            break
+        owner[s] = b
+        sizes[b] += 1
+        frontiers[b].append(s)
+
+    assigned = int(sizes.sum())
+    while assigned < n:
+        # pick the smallest block that can still grow
+        b = int(np.argmin(np.where(sizes < capacity, sizes, np.iinfo(np.int64).max)))
+        grew = False
+        while frontiers[b]:
+            v = frontiers[b].popleft()
+            for u in graph.neighbors(v):
+                u = int(u)
+                if owner[u] == -1:
+                    owner[u] = b
+                    sizes[b] += 1
+                    assigned += 1
+                    frontiers[b].append(u)
+                    grew = True
+                    break
+            if grew:
+                # v may have more unassigned neighbors; keep it in the frontier
+                frontiers[b].append(v)
+                break
+        if not grew:
+            # exhausted frontier (disconnected component); reseed this block
+            s = take_seed()
+            if s == -1:
+                break
+            owner[s] = b
+            sizes[b] += 1
+            assigned += 1
+            frontiers[b].append(s)
+
+    # safety: anything left (shouldn't happen) goes to the smallest block
+    rest = np.flatnonzero(owner == -1)
+    for v in rest:
+        b = int(np.argmin(sizes))
+        owner[v] = b
+        sizes[b] += 1
+    return owner
+
+
+def partition_quality(graph: Graph, owner: np.ndarray) -> dict:
+    """Report edge cut and balance of a partition.
+
+    Returns a dict with ``internal_fraction`` (fraction of arcs whose both
+    endpoints share a worker), ``edge_cut`` and ``imbalance`` (max block
+    size over ideal size).
+    """
+    src, dst = graph.edge_array()
+    internal = int(np.count_nonzero(owner[src] == owner[dst]))
+    total = src.size
+    sizes = np.bincount(owner, minlength=int(owner.max()) + 1 if owner.size else 1)
+    ideal = graph.num_vertices / max(len(sizes), 1)
+    return {
+        "internal_fraction": internal / total if total else 1.0,
+        "edge_cut": total - internal,
+        "imbalance": float(sizes.max() / ideal) if graph.num_vertices else 1.0,
+        "block_sizes": sizes,
+    }

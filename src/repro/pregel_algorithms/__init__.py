@@ -1,0 +1,27 @@
+"""The same six algorithms implemented on the Pregel+ baseline.
+
+These are the paper's comparison points (the "pregel" columns of Tables
+IV–VII).  They share the algorithmic structure of
+:mod:`repro.algorithms` but pay Pregel+'s costs: one monolithic message
+type per program (tagged unions for heterogeneous algorithms), at most
+one global combiner, per-message receive paths, and — in reqresp mode —
+``(id, value)``-echoing responses.
+"""
+
+from repro.pregel_algorithms.pagerank import run_pagerank_pregel
+from repro.pregel_algorithms.pointer_jumping import run_pointer_jumping_pregel
+from repro.pregel_algorithms.wcc import run_wcc_pregel
+from repro.pregel_algorithms.sv import run_sv_pregel
+from repro.pregel_algorithms.scc import run_scc_pregel
+from repro.pregel_algorithms.msf import run_msf_pregel
+from repro.pregel_algorithms.sssp import run_sssp_pregel
+
+__all__ = [
+    "run_pagerank_pregel",
+    "run_pointer_jumping_pregel",
+    "run_wcc_pregel",
+    "run_sv_pregel",
+    "run_scc_pregel",
+    "run_msf_pregel",
+    "run_sssp_pregel",
+]

@@ -1,0 +1,45 @@
+"""Simulated distributed substrate.
+
+This package replaces the paper's 8-node EC2 cluster with an in-process
+multi-worker simulator.  Messages are serialized into real byte buffers
+(:mod:`repro.runtime.serialization`), exchanged pairwise between workers
+(:mod:`repro.runtime.buffers`), and accounted both in bytes and in
+simulated time through a simple network cost model
+(:mod:`repro.runtime.costmodel`).  All experiment metrics are gathered by
+:class:`repro.runtime.metrics.MetricsCollector`.
+"""
+
+from repro.runtime.serialization import (
+    Codec,
+    INT32,
+    INT64,
+    FLOAT32,
+    FLOAT64,
+    UINT8,
+    pair_codec,
+    struct_codec,
+    BufferWriter,
+    BufferReader,
+)
+from repro.runtime.buffers import WorkerBuffers, BufferExchange
+from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
+from repro.runtime.metrics import MetricsCollector, SuperstepRecord
+
+__all__ = [
+    "Codec",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "UINT8",
+    "pair_codec",
+    "struct_codec",
+    "BufferWriter",
+    "BufferReader",
+    "WorkerBuffers",
+    "BufferExchange",
+    "NetworkModel",
+    "DEFAULT_NETWORK",
+    "MetricsCollector",
+    "SuperstepRecord",
+]

@@ -1,0 +1,160 @@
+"""Experiment metrics: bytes, messages, supersteps, simulated time.
+
+Every number in the reproduced tables comes from here.  The collector keeps
+one :class:`SuperstepRecord` per superstep; totals are derived properties so
+tests can assert conservation invariants (e.g. bytes sent == bytes
+received) against the raw per-step data.
+
+Two notions of time are tracked:
+
+* ``wall_time`` — real elapsed time of the whole run (single process).
+* ``simulated_time`` — Σ over supersteps of (max per-worker compute time +
+  modeled network time of each exchange round).  This is the analogue of
+  the paper's cluster runtime: compute is parallel across workers, and
+  communication is charged by the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
+
+__all__ = ["SuperstepRecord", "MetricsCollector"]
+
+
+@dataclass
+class SuperstepRecord:
+    """Everything measured during one superstep."""
+
+    superstep: int
+    rounds: int = 0
+    net_bytes: int = 0
+    local_bytes: int = 0
+    messages: int = 0
+    active_vertices: int = 0
+    compute_time_max: float = 0.0
+    compute_time_sum: float = 0.0
+    exchange_time: float = 0.0
+
+    @property
+    def simulated_time(self) -> float:
+        return self.compute_time_max + self.exchange_time
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-superstep metrics for one engine run."""
+
+    num_workers: int
+    network: NetworkModel = field(default_factory=lambda: DEFAULT_NETWORK)
+    records: list[SuperstepRecord] = field(default_factory=list)
+    #: per-channel traffic: label -> [net_bytes, local_bytes, messages]
+    channel_traffic: dict = field(default_factory=dict)
+    _wall_start: float = field(default=0.0, repr=False)
+    wall_time: float = 0.0
+    _current: SuperstepRecord | None = field(default=None, repr=False)
+    _compute_per_worker: np.ndarray | None = field(default=None, repr=False)
+
+    # -- run lifecycle ----------------------------------------------------
+    def start_run(self) -> None:
+        self._wall_start = time.perf_counter()
+
+    def end_run(self) -> None:
+        self.wall_time = time.perf_counter() - self._wall_start
+
+    # -- superstep lifecycle ----------------------------------------------
+    def start_superstep(self, active_vertices: int = 0) -> None:
+        self._current = SuperstepRecord(
+            superstep=len(self.records), active_vertices=active_vertices
+        )
+        self._compute_per_worker = np.zeros(self.num_workers)
+
+    def record_compute(self, worker_id: int, seconds: float) -> None:
+        assert self._compute_per_worker is not None
+        self._compute_per_worker[worker_id] += seconds
+
+    def record_exchange(
+        self,
+        send_bytes: np.ndarray,
+        recv_bytes: np.ndarray,
+        local_bytes: int = 0,
+        messages: int = 0,
+    ) -> None:
+        """Account one buffer-exchange round."""
+        cur = self._current
+        assert cur is not None
+        cur.rounds += 1
+        cur.net_bytes += int(np.sum(send_bytes))
+        cur.local_bytes += local_bytes
+        cur.exchange_time += self.network.exchange_time(send_bytes, recv_bytes, messages)
+
+    def count_messages(self, n: int) -> None:
+        assert self._current is not None
+        self._current.messages += n
+
+    def count_channel_bytes(self, label: str, nbytes: int, local: bool) -> None:
+        """Attribute payload bytes to a channel (the per-pattern traffic
+        breakdown the paper's analyses reason about)."""
+        entry = self.channel_traffic.setdefault(label, [0, 0, 0])
+        entry[1 if local else 0] += nbytes
+
+    def count_channel_messages(self, label: str, n: int) -> None:
+        entry = self.channel_traffic.setdefault(label, [0, 0, 0])
+        entry[2] += n
+
+    def channel_breakdown(self) -> dict:
+        """{channel label: {"net_bytes", "local_bytes", "messages"}}."""
+        return {
+            label: {"net_bytes": v[0], "local_bytes": v[1], "messages": v[2]}
+            for label, v in sorted(self.channel_traffic.items())
+        }
+
+    def end_superstep(self) -> None:
+        cur = self._current
+        assert cur is not None and self._compute_per_worker is not None
+        cur.compute_time_max = float(np.max(self._compute_per_worker))
+        cur.compute_time_sum = float(np.sum(self._compute_per_worker))
+        self.records.append(cur)
+        self._current = None
+        self._compute_per_worker = None
+
+    # -- derived totals -----------------------------------------------------
+    @property
+    def supersteps(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_net_bytes(self) -> int:
+        return sum(r.net_bytes for r in self.records)
+
+    @property
+    def total_local_bytes(self) -> int:
+        return sum(r.local_bytes for r in self.records)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self.records)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(r.rounds for r in self.records)
+
+    @property
+    def simulated_time(self) -> float:
+        return sum(r.simulated_time for r in self.records)
+
+    def summary(self) -> dict:
+        """Flat dict used by the bench harness to print table rows."""
+        return {
+            "supersteps": self.supersteps,
+            "rounds": self.total_rounds,
+            "net_bytes": self.total_net_bytes,
+            "local_bytes": self.total_local_bytes,
+            "messages": self.total_messages,
+            "simulated_time": self.simulated_time,
+            "wall_time": self.wall_time,
+        }

@@ -1,0 +1,43 @@
+"""Small NumPy utilities shared across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expand_ranges", "group_starts"]
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s+c) for s, c in zip(starts, counts)]``
+    without a Python loop.
+
+    This is the standard trick for gathering the CSR edge slices of a whole
+    frontier at once: ``expand_ranges(indptr[f], indptr[f+1]-indptr[f])``
+    yields the flat edge indices of every vertex in ``f``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    nonzero = counts > 0
+    starts, counts = starts[nonzero], counts[nonzero]
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(counts.sum())
+    deltas = np.ones(total, dtype=np.int64)
+    deltas[0] = starts[0]
+    # at each range boundary, jump from the previous range's end to the
+    # next range's start
+    boundaries = np.cumsum(counts[:-1])
+    deltas[boundaries] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(deltas)
+
+
+def group_starts(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """For a sorted key array, return (unique keys, start index of each
+    group) — the inputs ``ufunc.reduceat`` wants."""
+    if sorted_keys.size == 0:
+        return sorted_keys[:0], np.empty(0, dtype=np.int64)
+    boundary = np.empty(sorted_keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    return sorted_keys[starts], starts

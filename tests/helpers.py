@@ -1,0 +1,107 @@
+"""Shared test utilities: serial oracles and tiny graph fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "nx_components",
+    "nx_scc",
+    "nx_mst_weight",
+    "nx_sssp",
+    "pagerank_oracle",
+    "line_graph",
+    "two_triangles",
+]
+
+
+def _nx_graph(graph: Graph, directed: bool):
+    import networkx as nx
+
+    G = nx.DiGraph() if directed else nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.edge_array()
+    if graph.weighted:
+        G.add_weighted_edges_from(zip(src.tolist(), dst.tolist(), graph.weights.tolist()))
+    else:
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return G
+
+
+def nx_components(graph: Graph) -> np.ndarray:
+    """labels[v] = min vertex id of v's weak component."""
+    import networkx as nx
+
+    G = _nx_graph(graph, directed=False)
+    labels = np.zeros(graph.num_vertices, dtype=np.int64)
+    for comp in nx.connected_components(G):
+        mn = min(comp)
+        for u in comp:
+            labels[u] = mn
+    return labels
+
+
+def nx_scc(graph: Graph) -> np.ndarray:
+    """labels[v] = min vertex id of v's strong component."""
+    import networkx as nx
+
+    G = _nx_graph(graph, directed=True)
+    labels = np.zeros(graph.num_vertices, dtype=np.int64)
+    for comp in nx.strongly_connected_components(G):
+        mn = min(comp)
+        for u in comp:
+            labels[u] = mn
+    return labels
+
+
+def nx_mst_weight(graph: Graph) -> float:
+    import networkx as nx
+
+    G = _nx_graph(graph, directed=False)
+    return sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(G, data=True))
+
+
+def nx_sssp(graph: Graph, source: int) -> np.ndarray:
+    import networkx as nx
+
+    G = _nx_graph(graph, directed=graph.directed)
+    weight = "weight" if graph.weighted else None
+    dists = nx.single_source_dijkstra_path_length(G, source, weight=weight)
+    out = np.full(graph.num_vertices, np.inf)
+    for v, d in dists.items():
+        out[v] = d
+    return out
+
+
+def pagerank_oracle(graph: Graph, iterations: int, damping: float = 0.85) -> np.ndarray:
+    """Dense power iteration with a dead-end sink, matching the paper's
+    Fig. 1 formulation exactly."""
+    n = graph.num_vertices
+    deg = graph.out_degrees
+    M = np.zeros((n, n))
+    for v in range(n):
+        d = deg[v]
+        if d:
+            # np.add.at accumulates parallel edges (fancy indexing would not)
+            np.add.at(M[:, v], graph.neighbors(v), 1.0 / d)
+    r = np.full(n, 1.0 / n)
+    for _ in range(iterations):
+        s = r[deg == 0].sum() / n
+        r = (1 - damping) / n + damping * (M @ r + s)
+    return r
+
+
+def line_graph(n: int, weighted: bool = False) -> Graph:
+    """Undirected path 0-1-2-...-(n-1)."""
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    w = np.ones(n - 1) if weighted else None
+    return Graph(n, src, dst, weights=w, directed=False)
+
+
+def two_triangles() -> Graph:
+    """Two disjoint triangles: {0,1,2} and {3,4,5}."""
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+    return Graph.from_edges(6, edges, directed=False)

@@ -1,0 +1,104 @@
+"""Tests for the graph analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph import chain, complete, grid_road, rmat, star
+from repro.graph.analysis import (
+    clustering_coefficient,
+    degree_histogram,
+    degree_skew,
+    estimate_diameter,
+    graph_summary,
+)
+from repro.graph.graph import Graph
+from helpers import line_graph, two_triangles
+
+
+class TestDegreeStats:
+    def test_histogram_star(self):
+        g = star(10)
+        degrees, counts = degree_histogram(g)
+        assert dict(zip(degrees.tolist(), counts.tolist())) == {1: 9, 9: 1}
+
+    def test_histogram_sums_to_n(self):
+        g = rmat(7, edge_factor=3, seed=0)
+        _, counts = degree_histogram(g)
+        # every vertex lands in exactly one degree bucket (including 0)
+        assert counts.sum() == g.num_vertices
+
+    def test_skew_star_vs_line(self):
+        assert degree_skew(star(50)) > 10 * degree_skew(line_graph(50))
+
+    def test_skew_regular(self):
+        assert degree_skew(complete(6)) == pytest.approx(1.0)
+
+    def test_skew_empty(self):
+        assert degree_skew(Graph.from_edges(3, [])) == 0.0
+
+
+class TestDiameter:
+    def test_exact_on_path(self):
+        g = line_graph(50)
+        assert estimate_diameter(g, sweeps=4) == 49
+
+    def test_complete_graph(self):
+        assert estimate_diameter(complete(8)) == 1
+
+    def test_lower_bound_property(self):
+        import networkx as nx
+
+        g = grid_road(8, 8, seed=0, weighted=False)
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        s, d = g.edge_array()
+        G.add_edges_from(zip(s.tolist(), d.tolist()))
+        true_diam = max(
+            nx.diameter(G.subgraph(c)) for c in nx.connected_components(G)
+        )
+        est = estimate_diameter(g, sweeps=6)
+        assert est <= true_diam
+        assert est >= true_diam // 2  # double sweep is at least half
+
+    def test_empty(self):
+        assert estimate_diameter(Graph.from_edges(0, [])) == 0
+
+
+class TestClustering:
+    def test_triangle(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)], directed=False)
+        assert clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_path_has_none(self):
+        assert clustering_coefficient(line_graph(10)) == 0.0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = rmat(6, edge_factor=3, seed=4, directed=False)
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        s, d = g.edge_array()
+        G.add_edges_from(zip(s.tolist(), d.tolist()))
+        assert clustering_coefficient(g) == pytest.approx(nx.transitivity(G))
+
+    def test_rejects_directed(self):
+        with pytest.raises(ValueError):
+            clustering_coefficient(Graph.from_edges(2, [(0, 1)], directed=True))
+
+
+class TestSummary:
+    def test_keys_and_values(self):
+        g = two_triangles()
+        s = graph_summary(g)
+        assert s["vertices"] == 6
+        assert s["edges"] == 6
+        assert not s["directed"]
+        assert s["max_degree"] == 2
+        assert s["diameter_lb"] == 1
+
+    def test_chain_diameter(self):
+        s = graph_summary(chain(40), diameter_sweeps=4)
+        # directed chain: traversal follows arcs toward the root
+        assert s["diameter_lb"] >= 1
+        assert s["degree_skew"] == pytest.approx(1.0, rel=0.05)

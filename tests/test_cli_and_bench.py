@@ -1,0 +1,133 @@
+"""Tests for the CLI (`python -m repro`) and the bench harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.bench.datasets import DATASETS, load_dataset, table3_rows
+from repro.bench.runner import CELLS, run_cell
+from repro.bench.tables import render_rows
+from repro.graph.io import save_edgelist
+from helpers import two_triangles
+
+
+class TestDatasets:
+    def test_registry_covers_table3(self):
+        assert set(DATASETS) == {
+            "wikipedia",
+            "webuk",
+            "facebook",
+            "twitter",
+            "tree",
+            "chain",
+            "usa-road",
+            "rmat24",
+        }
+
+    def test_loading_is_cached(self):
+        a = load_dataset("facebook")
+        b = load_dataset("facebook")
+        assert a is b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("orkut")
+
+    def test_table3_rows_shape(self):
+        rows = table3_rows()
+        assert len(rows) == 8
+        for row in rows:
+            assert row["|V|"] > 0 and row["|E|"] > 0
+            assert row["avg_deg"] > 0
+
+    def test_type_properties_hold(self):
+        assert load_dataset("wikipedia").directed
+        assert not load_dataset("facebook").directed
+        assert load_dataset("usa-road").weighted
+        assert load_dataset("rmat24").weighted
+        # the dense/sparse contrast Table VI relies on
+        assert load_dataset("twitter").avg_degree > 4 * load_dataset("facebook").avg_degree
+
+
+class TestRunner:
+    def test_cells_cover_all_table_programs(self):
+        algos = {a for a, _ in CELLS}
+        assert algos == {"pr", "pj", "wcc", "sv", "scc", "msf", "sssp"}
+
+    def test_run_cell_row_schema(self):
+        row = run_cell("wcc", "channel-prop", "facebook", num_workers=4)
+        for key in (
+            "algorithm",
+            "program",
+            "dataset",
+            "runtime",
+            "message_mb",
+            "messages",
+            "supersteps",
+            "rounds",
+            "wall_s",
+        ):
+            assert key in row
+        assert row["dataset"] == "facebook"
+        assert row["runtime"] > 0
+
+    def test_partitioned_flag_marks_dataset(self):
+        row = run_cell("wcc", "channel-prop", "facebook", partitioned=True, num_workers=4)
+        assert row["dataset"].endswith("(P)")
+
+
+class TestRenderRows:
+    def test_renders_all_columns(self):
+        row = run_cell("wcc", "channel-prop", "facebook", num_workers=4)
+        text = render_rows([row], title="T")
+        assert "T" in text and "facebook" in text and "message_mb" in text
+
+    def test_empty(self):
+        assert "(no rows)" in render_rows([], title="X")
+
+
+class TestCLI:
+    def test_run_json(self, capsys):
+        rc = cli_main(
+            ["run", "wcc", "--dataset", "facebook", "--variant", "prop", "--json"]
+        )
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["algorithm"] == "wcc"
+        assert out["supersteps"] >= 1
+
+    def test_run_plain_output(self, capsys):
+        rc = cli_main(["run", "pj", "--dataset", "chain", "--variant", "reqresp"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "supersteps" in text and "net_bytes" in text
+
+    def test_run_partitioned(self, capsys):
+        rc = cli_main(
+            ["run", "wcc", "--dataset", "facebook", "--variant", "prop", "--partitioned"]
+        )
+        assert rc == 0
+
+    def test_run_from_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        save_edgelist(two_triangles(), path)
+        rc = cli_main(["run", "sv", "--graph", str(path), "--variant", "both", "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["vertices"] == 6
+
+    def test_bad_variant(self, capsys):
+        rc = cli_main(["run", "msf", "--dataset", "usa-road", "--variant", "prop"])
+        assert rc == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+    def test_datasets_listing(self, capsys):
+        assert cli_main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "wikipedia" in out and "avg_deg" in out
+
+    def test_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "wcc"])

@@ -1,0 +1,114 @@
+"""Unit and property tests for combiners (monoid laws included)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.combiner import (
+    Combiner,
+    MAX_F64,
+    MAX_I32,
+    MAX_I64,
+    MIN_F64,
+    MIN_I32,
+    MIN_I64,
+    SUM_F64,
+    SUM_I32,
+    SUM_I64,
+    make_combiner,
+)
+from repro.runtime.serialization import INT64
+
+ALL_INT_COMBINERS = [SUM_I64, SUM_I32, MIN_I64, MIN_I32, MAX_I64, MAX_I32]
+ALL_FLOAT_COMBINERS = [SUM_F64, MIN_F64, MAX_F64]
+
+ints = st.integers(min_value=-(2**31) + 1, max_value=2**31 - 1)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@pytest.mark.parametrize("comb", ALL_INT_COMBINERS, ids=lambda c: c.name)
+@given(x=ints)
+def test_identity_law_int(comb, x):
+    assert comb.combine(comb.identity, x) == x
+    assert comb.combine(x, comb.identity) == x
+
+
+@pytest.mark.parametrize("comb", ALL_FLOAT_COMBINERS, ids=lambda c: c.name)
+@given(x=floats)
+def test_identity_law_float(comb, x):
+    assert comb.combine(comb.identity, x) == x
+
+
+@pytest.mark.parametrize("comb", ALL_INT_COMBINERS, ids=lambda c: c.name)
+@given(a=ints, b=ints, c=ints)
+def test_associativity_and_commutativity(comb, a, b, c):
+    assert comb.combine(comb.combine(a, b), c) == comb.combine(a, comb.combine(b, c))
+    assert comb.combine(a, b) == comb.combine(b, a)
+
+
+@pytest.mark.parametrize("comb", ALL_INT_COMBINERS, ids=lambda c: c.name)
+@given(values=st.lists(ints, max_size=30))
+def test_ufunc_matches_scalar_fold(comb, values):
+    """The bulk (ufunc) path must agree with the scalar path — this is
+    what lets channels pick whichever is faster."""
+    arr = np.asarray(values, dtype=comb.codec.dtype)
+    expected = comb.identity
+    for v in values:
+        expected = comb.combine(expected, v)
+    assert comb.combine_array(arr) == expected
+
+
+class TestReduceat:
+    def test_segments(self):
+        vals = np.array([5, 1, 7, 2, 9], dtype=np.int64)
+        starts = np.array([0, 2, 4])
+        out = MIN_I64.reduceat(vals, starts)
+        assert out.tolist() == [1, 2, 9]
+
+    def test_sum_segments(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        out = SUM_F64.reduceat(vals, np.array([0, 1]))
+        assert out.tolist() == [1.0, 9.0]
+
+    def test_without_ufunc_fallback(self):
+        comb = make_combiner(min, 10**9, INT64, ufunc=None)
+        vals = np.array([5, 1, 7, 2], dtype=np.int64)
+        out = comb.reduceat(vals, np.array([0, 2]))
+        assert out.tolist() == [1, 2]
+
+
+class TestAccumulateAt:
+    def test_min_at(self):
+        target = np.full(4, MIN_I64.identity, dtype=np.int64)
+        MIN_I64.accumulate_at(target, np.array([0, 0, 2]), np.array([5, 3, 1]))
+        assert target[0] == 3
+        assert target[2] == 1
+        assert target[1] == MIN_I64.identity
+
+    def test_sum_at_accumulates_duplicates(self):
+        target = np.zeros(3)
+        SUM_F64.accumulate_at(target, np.array([1, 1, 1]), np.array([1.0, 2.0, 3.0]))
+        assert target[1] == 6.0
+
+    def test_scalar_fallback(self):
+        comb = make_combiner(lambda a, b: a + b, 0, INT64, ufunc=None)
+        target = np.zeros(2, dtype=np.int64)
+        comb.accumulate_at(target, np.array([0, 0]), np.array([2, 3]))
+        assert target[0] == 5
+
+
+def test_combine_array_empty_returns_identity():
+    assert MIN_I64.combine_array(np.empty(0, dtype=np.int64)) == MIN_I64.identity
+
+
+def test_make_combiner_fields():
+    c = make_combiner(max, -1, INT64, np.maximum, name="mymax")
+    assert c.name == "mymax"
+    assert c.combine(3, 5) == 5
+    assert "mymax" in repr(c)
+
+
+def test_identity_values_are_absorbing_for_min_max():
+    assert MIN_I32.identity == np.iinfo(np.int32).max
+    assert MAX_I32.identity == np.iinfo(np.int32).min
+    assert MIN_F64.identity == float("inf")

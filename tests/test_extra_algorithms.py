@@ -1,0 +1,220 @@
+"""Tests for the extended algorithm library: BFS, triangle counting,
+k-core, Luby MIS, and label propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms.bfs import UNREACHED, run_bfs
+from repro.algorithms.kcore import h_index, run_kcore
+from repro.algorithms.lpa import run_lpa
+from repro.algorithms.mis import run_mis
+from repro.algorithms.triangles import run_triangles
+from repro.graph import complete, grid_road, rmat, star
+from repro.graph.graph import Graph
+from helpers import line_graph, two_triangles
+
+
+@pytest.fixture(scope="module")
+def social():
+    return rmat(8, edge_factor=3, seed=9, directed=False)
+
+
+def nx_graph(g):
+    import networkx as nx
+
+    G = nx.Graph() if not g.directed else nx.DiGraph()
+    G.add_nodes_from(range(g.num_vertices))
+    s, d = g.edge_array()
+    G.add_edges_from(zip(s.tolist(), d.tolist()))
+    return G
+
+
+class TestBFS:
+    @pytest.mark.parametrize("variant", ["basic", "prop"])
+    def test_matches_networkx(self, social, variant):
+        import networkx as nx
+
+        src = int(social.out_degrees.argmax())
+        levels, _ = run_bfs(social, source=src, variant=variant, num_workers=4)
+        sp = nx.single_source_shortest_path_length(nx_graph(social), src)
+        for u in range(social.num_vertices):
+            assert levels[u] == sp.get(u, UNREACHED)
+
+    def test_line(self):
+        levels, _ = run_bfs(line_graph(6), source=2, num_workers=2)
+        assert levels.tolist() == [2, 1, 0, 1, 2, 3]
+
+    def test_directed_respects_direction(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)], directed=True)
+        levels, _ = run_bfs(g, source=1, num_workers=2)
+        assert levels[0] == UNREACHED
+        assert levels.tolist()[1:] == [0, 1]
+
+    def test_prop_single_superstep(self):
+        g = line_graph(100)
+        _, basic = run_bfs(g, source=0, variant="basic", num_workers=4)
+        _, prop = run_bfs(g, source=0, variant="prop", num_workers=4)
+        assert prop.supersteps == 2
+        assert basic.supersteps == 101
+
+
+class TestTriangles:
+    def test_matches_networkx(self, social):
+        import networkx as nx
+
+        count, _ = run_triangles(social, num_workers=4)
+        assert count == sum(nx.triangles(nx_graph(social)).values()) // 3
+
+    def test_triangle_free(self):
+        assert run_triangles(line_graph(10), num_workers=2)[0] == 0
+        assert run_triangles(star(10), num_workers=2)[0] == 0
+
+    def test_two_triangles(self):
+        assert run_triangles(two_triangles(), num_workers=3)[0] == 2
+
+    def test_complete_graph(self):
+        n = 8
+        expected = n * (n - 1) * (n - 2) // 6
+        assert run_triangles(complete(n), num_workers=3)[0] == expected
+
+    def test_rejects_directed(self):
+        with pytest.raises(ValueError):
+            run_triangles(Graph.from_edges(2, [(0, 1)], directed=True))
+
+    def test_count_is_worker_invariant(self, social):
+        c1, _ = run_triangles(social, num_workers=1)
+        c5, _ = run_triangles(social, num_workers=5)
+        assert c1 == c5
+
+
+class TestHIndex:
+    def test_examples(self):
+        assert h_index(np.array([3, 3, 3])) == 3
+        assert h_index(np.array([5, 1, 1])) == 1
+        assert h_index(np.array([4, 4, 2, 2])) == 2
+        assert h_index(np.array([], dtype=np.int64)) == 0
+        assert h_index(np.array([0, 0])) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=40))
+    def test_definition(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        h = h_index(arr)
+        assert (arr >= h).sum() >= h
+        assert (arr >= h + 1).sum() < h + 1
+
+
+class TestKCore:
+    def test_matches_networkx(self, social):
+        import networkx as nx
+
+        core, _ = run_kcore(social, num_workers=4)
+        expected = nx.core_number(nx_graph(social))
+        for u in range(social.num_vertices):
+            assert core[u] == expected[u]
+
+    def test_clique_plus_tail(self):
+        # K4 on {0..3} with a tail 3-4-5
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+        g = Graph.from_edges(6, edges, directed=False)
+        core, _ = run_kcore(g, num_workers=2)
+        assert core.tolist() == [3, 3, 3, 3, 1, 1]
+
+    def test_isolated(self):
+        g = Graph.from_edges(3, [(0, 1)], directed=False)
+        core, _ = run_kcore(g, num_workers=2)
+        assert core.tolist() == [1, 1, 0]
+
+    def test_road_network(self):
+        import networkx as nx
+
+        g = grid_road(15, 15, seed=1, weighted=False)
+        core, _ = run_kcore(g, num_workers=4)
+        expected = nx.core_number(nx_graph(g))
+        assert all(core[u] == expected[u] for u in range(g.num_vertices))
+
+
+class TestMIS:
+    def _check(self, g, in_set):
+        members = set(np.flatnonzero(in_set).tolist())
+        for v in range(g.num_vertices):
+            nbrs = set(g.neighbors(v).tolist()) - {v}
+            if v in members:
+                assert not (nbrs & members), "set is not independent"
+            else:
+                assert nbrs & members, "set is not maximal"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_independent_and_maximal(self, social, seed):
+        in_set, _ = run_mis(social, seed=seed, num_workers=4)
+        self._check(social, in_set)
+
+    def test_star(self):
+        g = star(12)
+        in_set, _ = run_mis(g, num_workers=3)
+        self._check(g, in_set)
+        # either the hub alone or all the leaves
+        assert in_set.sum() in (1, 11)
+
+    def test_complete_graph_picks_one(self):
+        in_set, _ = run_mis(complete(9), num_workers=3)
+        assert in_set.sum() == 1
+
+    def test_edgeless_takes_everyone(self):
+        g = Graph.from_edges(7, [], directed=False)
+        in_set, _ = run_mis(g, num_workers=2)
+        assert in_set.all()
+
+    def test_logarithmic_rounds(self, social):
+        _, res = run_mis(social, num_workers=4)
+        assert res.supersteps < 40  # 2 supersteps x O(log n) rounds
+
+
+class TestLPA:
+    def test_two_cliques(self):
+        edges = (
+            [(i, j) for i in range(5) for j in range(i + 1, 5)]
+            + [(i, j) for i in range(5, 10) for j in range(i + 1, 10)]
+            + [(4, 5)]
+        )
+        g = Graph.from_edges(10, edges, directed=False)
+        labels, _ = run_lpa(g, rounds=8, num_workers=3)
+        assert len(set(labels[:5].tolist())) == 1
+        assert len(set(labels[5:].tolist())) == 1
+
+    def test_isolated_keeps_own_label(self):
+        g = Graph.from_edges(3, [(0, 1)], directed=False)
+        labels, _ = run_lpa(g, rounds=4, num_workers=2)
+        assert labels[2] == 2
+
+    def test_runs_exactly_rounds_plus_one(self):
+        g = two_triangles()
+        _, res = run_lpa(g, rounds=6, num_workers=2)
+        assert res.supersteps == 7
+
+    def test_deterministic(self, social):
+        l1, _ = run_lpa(social, rounds=5, num_workers=3)
+        l2, _ = run_lpa(social, rounds=5, num_workers=3)
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_worker_invariant(self, social):
+        l1, _ = run_lpa(social, rounds=5, num_workers=1)
+        l4, _ = run_lpa(social, rounds=5, num_workers=4)
+        np.testing.assert_array_equal(l1, l4)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    scale=st.integers(min_value=4, max_value=7),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_mis_property_random_graphs(scale, seed):
+    g = rmat(scale, edge_factor=2, seed=seed, directed=False)
+    in_set, _ = run_mis(g, seed=seed, num_workers=3)
+    members = set(np.flatnonzero(in_set).tolist())
+    for v in range(g.num_vertices):
+        nbrs = set(g.neighbors(v).tolist()) - {v}
+        if v in members:
+            assert not (nbrs & members)
+        else:
+            assert nbrs & members

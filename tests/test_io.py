@@ -1,0 +1,72 @@
+"""Unit tests for graph IO."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import load_edgelist, load_npz, save_edgelist, save_npz
+from repro.graph import rmat, grid_road
+
+
+class TestEdgelist:
+    def test_roundtrip_directed(self, tmp_path):
+        g = rmat(6, edge_factor=3, seed=1)
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        h = load_edgelist(path)
+        assert h.num_vertices == g.num_vertices
+        assert h.directed == g.directed
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_roundtrip_undirected_weighted(self, tmp_path):
+        g = grid_road(6, 6, seed=0)
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        h = load_edgelist(path)
+        assert not h.directed
+        assert h.num_edges == g.num_edges
+        for v in range(g.num_vertices):
+            np.testing.assert_array_equal(
+                np.sort(h.neighbors(v)), np.sort(g.neighbors(v))
+            )
+
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = load_edgelist(path)
+        assert g.num_vertices == 3
+        assert g.directed
+        assert g.num_edges == 2
+
+    def test_isolated_trailing_vertices_preserved(self, tmp_path):
+        g = Graph.from_edges(10, [(0, 1)])
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        assert load_edgelist(path).num_vertices == 10
+
+    def test_partial_weights_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.0\n1 2\n")
+        with pytest.raises(ValueError):
+            load_edgelist(path)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        g = rmat(7, edge_factor=2, seed=4)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        h = load_npz(path)
+        assert h.num_vertices == g.num_vertices
+        np.testing.assert_array_equal(h.indptr, g.indptr)
+        np.testing.assert_array_equal(h.indices, g.indices)
+
+    def test_roundtrip_weighted_undirected(self, tmp_path):
+        g = grid_road(5, 7, seed=2)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        h = load_npz(path)
+        assert not h.directed
+        assert h.weighted
+        np.testing.assert_allclose(h.weights, g.weights)
+        assert h.num_input_edges == g.num_input_edges

@@ -1,0 +1,107 @@
+"""Boruvka MSF: both systems match networkx MST weight on many shapes."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.msf import run_msf
+from repro.graph import grid_road, rmat
+from repro.graph.graph import Graph
+from repro.pregel_algorithms.msf import run_msf_pregel
+from helpers import nx_mst_weight
+
+# wire weights are float32; compare accordingly
+WTOL = 1e-3
+
+
+def weighted_graph(n, edges):
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    w = [e[2] for e in edges]
+    return Graph(n, np.array(src), np.array(dst), weights=np.array(w), directed=False)
+
+
+@pytest.fixture(scope="module")
+def road():
+    return grid_road(12, 15, seed=2)
+
+
+@pytest.fixture(scope="module")
+def powerlaw():
+    return rmat(7, edge_factor=3, seed=6, directed=False, weighted=True)
+
+
+RUNNERS = [("channel", run_msf), ("pregel", run_msf_pregel)]
+
+
+@pytest.mark.parametrize("name,runner", RUNNERS, ids=[r[0] for r in RUNNERS])
+class TestCorrectness:
+    def test_road_network(self, road, name, runner):
+        forest, weight, _ = runner(road, num_workers=4)
+        assert weight == pytest.approx(nx_mst_weight(road), rel=WTOL)
+
+    def test_power_law(self, powerlaw, name, runner):
+        forest, weight, _ = runner(powerlaw, num_workers=4)
+        assert weight == pytest.approx(nx_mst_weight(powerlaw), rel=WTOL)
+
+    def test_triangle(self, name, runner):
+        g = weighted_graph(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        forest, weight, _ = runner(g, num_workers=2)
+        assert weight == pytest.approx(3.0, rel=WTOL)
+        assert len(forest) == 2
+
+    def test_disconnected_forest(self, name, runner):
+        g = weighted_graph(6, [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 5.0), (4, 5, 1.5)])
+        forest, weight, _ = runner(g, num_workers=3)
+        assert len(forest) == 4  # spanning forest of two components
+        assert weight == pytest.approx(9.5, rel=WTOL)
+
+    def test_isolated_vertices(self, name, runner):
+        g = weighted_graph(4, [(0, 1, 2.0)])
+        forest, weight, _ = runner(g, num_workers=2)
+        assert len(forest) == 1
+        assert weight == pytest.approx(2.0, rel=WTOL)
+
+    def test_edgeless_graph(self, name, runner):
+        g = Graph.from_edges(5, [], directed=False)
+        forest, weight, _ = runner(g, num_workers=2)
+        assert forest == [] and weight == 0.0
+
+    def test_parallel_paths(self, name, runner):
+        # a 4-cycle: MST drops the heaviest edge
+        g = weighted_graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 9.0)])
+        forest, weight, _ = runner(g, num_workers=2)
+        assert weight == pytest.approx(3.0, rel=WTOL)
+
+    def test_forest_is_acyclic_and_spanning(self, road, name, runner):
+        import networkx as nx
+
+        forest, _, _ = runner(road, num_workers=4)
+        F = nx.Graph()
+        F.add_nodes_from(range(road.num_vertices))
+        F.add_edges_from((int(u), int(v)) for u, v, _ in forest)
+        assert nx.number_of_edges(F) == len(forest)  # no duplicates
+        assert not nx.cycle_basis(F)  # acyclic
+        # same number of components as the input graph
+        G = nx.Graph()
+        G.add_nodes_from(range(road.num_vertices))
+        s, d = road.edge_array()
+        G.add_edges_from(zip(s.tolist(), d.tolist()))
+        assert nx.number_connected_components(F) == nx.number_connected_components(G)
+
+
+class TestTraffic:
+    def test_rejects_directed(self):
+        g = Graph.from_edges(2, [(0, 1)], directed=True)
+        with pytest.raises(ValueError):
+            run_msf(g)
+        with pytest.raises(ValueError):
+            run_msf_pregel(g)
+
+    def test_channel_version_lighter_than_pregel(self, road):
+        """Table IV MSF row: heterogeneous channel types vs the widened
+        monolithic union."""
+        part = np.arange(road.num_vertices) % 4
+        _, _, rc = run_msf(road, num_workers=4, partition=part)
+        _, _, rp = run_msf_pregel(road, num_workers=4, partition=part)
+        assert rc.metrics.total_net_bytes < rp.metrics.total_net_bytes
+        assert rc.metrics.total_messages == rp.metrics.total_messages

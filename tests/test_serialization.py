@@ -1,0 +1,161 @@
+"""Unit tests for the binary codec layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.serialization import (
+    BufferReader,
+    BufferWriter,
+    Codec,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    UINT8,
+    pair_codec,
+    struct_codec,
+)
+
+
+class TestScalarCodecs:
+    def test_int32_roundtrip(self):
+        data = INT32.encode_one(42)
+        assert len(data) == 4
+        assert INT32.decode_one(data) == 42
+
+    def test_int64_roundtrip(self):
+        v = 2**40 + 7
+        assert INT64.decode_one(INT64.encode_one(v)) == v
+
+    def test_float64_roundtrip(self):
+        v = 3.14159
+        assert FLOAT64.decode_one(FLOAT64.encode_one(v)) == v
+
+    def test_uint8_roundtrip(self):
+        assert UINT8.decode_one(UINT8.encode_one(255)) == 255
+
+    def test_itemsize(self):
+        assert INT32.itemsize == 4
+        assert INT64.itemsize == 8
+        assert FLOAT64.itemsize == 8
+        assert FLOAT32.itemsize == 4
+        assert UINT8.itemsize == 1
+
+    def test_negative_values(self):
+        assert INT32.decode_one(INT32.encode_one(-12345)) == -12345
+
+    def test_decode_with_offset(self):
+        data = INT32.encode_one(1) + INT32.encode_one(2)
+        assert INT32.decode_one(data, offset=4) == 2
+
+
+class TestArrayCodecs:
+    def test_array_roundtrip(self):
+        values = np.array([1, 5, -3, 2**31 - 1], dtype=np.int32)
+        decoded = INT32.decode_array(INT32.encode_array(values))
+        np.testing.assert_array_equal(decoded, values)
+
+    def test_array_from_list(self):
+        data = FLOAT64.encode_array([1.5, 2.5])
+        np.testing.assert_array_equal(FLOAT64.decode_array(data), [1.5, 2.5])
+
+    def test_empty_array(self):
+        assert INT64.decode_array(INT64.encode_array([])).size == 0
+
+    def test_decode_count_limits(self):
+        data = INT32.encode_array([1, 2, 3, 4])
+        np.testing.assert_array_equal(INT32.decode_array(data, count=2), [1, 2])
+
+    def test_wire_size_is_exact(self):
+        assert len(INT32.encode_array([0] * 100)) == 400
+
+
+class TestStructCodecs:
+    def test_pair_roundtrip(self):
+        pc = pair_codec(INT32, FLOAT64)
+        assert pc.itemsize == 12
+        val = pc.decode_one(pc.encode_one((7, 2.5)))
+        assert val == (7, 2.5)
+
+    def test_struct_roundtrip(self):
+        sc = struct_codec([("u", INT32), ("v", INT32), ("w", FLOAT32)])
+        rec = sc.decode_one(sc.encode_one((1, 2, 1.5)))
+        assert rec == (1, 2, 1.5)
+
+    def test_struct_array(self):
+        sc = pair_codec(INT32, INT32)
+        arr = sc.decode_array(sc.encode_array([(1, 2), (3, 4)]))
+        assert arr["a"].tolist() == [1, 3]
+        assert arr["b"].tolist() == [2, 4]
+
+    def test_struct_itemsize_is_sum(self):
+        sc = struct_codec([("t", INT32), ("a", INT32), ("b", INT32), ("w", FLOAT32)])
+        assert sc.itemsize == 16
+
+
+class TestBufferWriterReader:
+    def test_mixed_content(self):
+        w = BufferWriter()
+        w.write_scalar(3, INT32)
+        w.write_array([1.0, 2.0, 3.0], FLOAT64)
+        w.write_bytes(b"xyz")
+        data = w.getvalue()
+        assert w.nbytes == len(data) == 4 + 24 + 3
+
+        r = BufferReader(data)
+        assert r.read_scalar(INT32) == 3
+        np.testing.assert_array_equal(r.read_array(3, FLOAT64), [1.0, 2.0, 3.0])
+        assert r.remaining == 3
+        assert not r.at_end()
+
+    def test_clear(self):
+        w = BufferWriter()
+        w.write_scalar(1, INT32)
+        w.clear()
+        assert w.nbytes == 0
+        assert w.getvalue() == b""
+
+    def test_empty_getvalue(self):
+        assert BufferWriter().getvalue() == b""
+
+    def test_reader_at_end(self):
+        r = BufferReader(INT32.encode_one(5))
+        r.read_scalar(INT32)
+        assert r.at_end()
+
+
+@given(st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1)))
+def test_int32_array_roundtrip_property(values):
+    decoded = INT32.decode_array(INT32.encode_array(np.array(values, dtype=np.int32)))
+    assert decoded.tolist() == values
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=True)))
+def test_float64_array_roundtrip_property(values):
+    decoded = FLOAT64.decode_array(FLOAT64.encode_array(np.array(values)))
+    assert decoded.tolist() == values
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        )
+    )
+)
+def test_pair_array_roundtrip_property(pairs):
+    pc = pair_codec(INT32, INT32)
+    arr = pc.decode_array(pc.encode_array(pairs) if pairs else b"", count=len(pairs))
+    assert [tuple(r) for r in arr] == pairs
+
+
+def test_codec_repr_mentions_name():
+    assert "int32" in repr(INT32)
+
+
+def test_custom_codec_dtype():
+    c = Codec("u16", np.uint16)
+    assert c.itemsize == 2
+    assert c.decode_one(c.encode_one(65535)) == 65535

@@ -1,0 +1,70 @@
+"""SSSP: all variants match Dijkstra on weighted and unweighted graphs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp import run_sssp
+from repro.graph import grid_road, rmat
+from repro.graph.graph import Graph
+from repro.pregel_algorithms.sssp import run_sssp_pregel
+from helpers import line_graph, nx_sssp
+
+
+@pytest.fixture(scope="module")
+def road():
+    return grid_road(10, 12, seed=4)
+
+
+RUNNERS = [
+    ("channel-basic", lambda g, **kw: run_sssp(g, variant="basic", **kw)),
+    ("channel-prop", lambda g, **kw: run_sssp(g, variant="prop", **kw)),
+    ("pregel", run_sssp_pregel),
+]
+
+
+def assert_dists_equal(got, expected):
+    finite = np.isfinite(expected)
+    np.testing.assert_allclose(got[finite], expected[finite], atol=1e-9)
+    assert np.all(np.isinf(got[~finite]))
+
+
+@pytest.mark.parametrize("name,runner", RUNNERS, ids=[r[0] for r in RUNNERS])
+class TestCorrectness:
+    def test_weighted_road(self, road, name, runner):
+        dists, _ = runner(road, source=0, num_workers=4)
+        assert_dists_equal(dists, nx_sssp(road, 0))
+
+    def test_unweighted_hops(self, name, runner):
+        g = line_graph(7)
+        dists, _ = runner(g, source=3, num_workers=2)
+        assert dists.tolist() == [3, 2, 1, 0, 1, 2, 3]
+
+    def test_directed(self, name, runner):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)], directed=True)
+        dists, _ = runner(g, source=1, num_workers=2)
+        assert dists[0] == np.inf
+        assert dists.tolist()[1:] == [0, 1, 2]
+
+    def test_unreachable(self, name, runner):
+        g = Graph.from_edges(4, [(0, 1)], directed=False)
+        dists, _ = runner(g, source=0, num_workers=2)
+        assert np.isinf(dists[2]) and np.isinf(dists[3])
+
+    def test_nonzero_source(self, road, name, runner):
+        src = road.num_vertices // 2
+        dists, _ = runner(road, source=src, num_workers=4)
+        assert_dists_equal(dists, nx_sssp(road, src))
+
+
+def test_prop_converges_in_one_superstep():
+    g = grid_road(8, 8, seed=1)
+    _, rb = run_sssp(g, source=0, variant="basic", num_workers=4)
+    _, rp = run_sssp(g, source=0, variant="prop", num_workers=4)
+    assert rp.supersteps == 2
+    assert rb.supersteps > rp.supersteps
+
+
+def test_power_law_weighted():
+    g = rmat(7, edge_factor=4, seed=8, weighted=True)
+    d1, _ = run_sssp(g, source=0, variant="basic", num_workers=3)
+    assert_dists_equal(d1, nx_sssp(g, 0))
