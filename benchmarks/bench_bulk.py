@@ -1,0 +1,69 @@
+"""Scalar-vs-bulk compute-path speedup (BENCH_bulk.json).
+
+Not a pytest-benchmark module: run it directly to measure how much the
+columnar ``compute_bulk`` path gains over the per-vertex scalar loop for
+every ported algorithm, and to persist the result next to the repo's
+other benchmark artifacts::
+
+    PYTHONPATH=src python benchmarks/bench_bulk.py                 # full 100k run
+    PYTHONPATH=src python benchmarks/bench_bulk.py --dataset tree  # smoke
+
+Each row also re-asserts the parity contract (same supersteps, message
+count, and byte volume in both modes) so a speedup can never come from
+silently doing less work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.runner import bulk_speedup_rows
+from repro.bench.tables import render_rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dataset",
+        default="bulk-100k",
+        help="benchmark graph name (default: the 100k-vertex workload)",
+    )
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_bulk.json",
+        help="output JSON path (default: repo-root BENCH_bulk.json)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = bulk_speedup_rows(dataset=args.dataset, num_workers=args.workers)
+    print(
+        render_rows(
+            rows,
+            title=f"scalar vs bulk compute ({args.dataset}, {args.workers} workers)",
+            cols=list(rows[0]),
+        )
+    )
+
+    args.out.write_text(
+        json.dumps(
+            {"dataset": args.dataset, "num_workers": args.workers, "rows": rows},
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {args.out}")
+
+    broken = [r["algorithm"] for r in rows if not r["traffic_identical"]]
+    if broken:
+        print(f"PARITY VIOLATION in: {', '.join(broken)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro run pagerank --dataset wikipedia --variant scatter
+    python -m repro run pagerank --dataset bulk-100k --variant scatter --mode bulk
     python -m repro run sv --dataset twitter --variant both --workers 16
     python -m repro run wcc --graph my_edges.txt --variant prop --partitioned
     python -m repro datasets
@@ -17,7 +18,7 @@ import sys
 
 import numpy as np
 
-from repro.bench.datasets import DATASETS, load_dataset, table3_rows
+from repro.bench.datasets import DATASETS, EXTRA_DATASETS, load_dataset, table3_rows
 from repro.bench.runner import CELLS
 from repro.graph.io import load_edgelist
 from repro.graph.partition import metis_like_partition
@@ -42,6 +43,7 @@ VARIANTS = {
     "scc": {"basic": ("scc", "channel-basic"), "prop": ("scc", "channel-prop")},
     "msf": {"basic": ("msf", "channel-basic")},
     "sssp": {"basic": ("sssp", "channel-basic"), "prop": ("sssp", "channel-prop")},
+    "bfs": {"basic": ("bfs", "channel-basic")},
 }
 
 
@@ -54,9 +56,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one algorithm and print metrics")
     run.add_argument("algorithm", choices=sorted(VARIANTS))
     src = run.add_mutually_exclusive_group(required=True)
-    src.add_argument("--dataset", choices=sorted(DATASETS), help="built-in dataset")
+    src.add_argument(
+        "--dataset",
+        choices=sorted(DATASETS) + sorted(EXTRA_DATASETS),
+        help="built-in dataset",
+    )
     src.add_argument("--graph", help="edge-list file (see repro.graph.io)")
     run.add_argument("--variant", default="basic")
+    run.add_argument(
+        "--mode",
+        choices=["scalar", "bulk"],
+        default="scalar",
+        help="compute path: per-vertex (scalar) or columnar (bulk)",
+    )
     run.add_argument("--workers", type=int, default=8)
     run.add_argument(
         "--partitioned",
@@ -82,6 +94,14 @@ def _cmd_run(args) -> int:
         )
         return 2
     algo, program = variants[args.variant]
+    if args.mode == "bulk":
+        if (algo, program + "-bulk") not in CELLS:
+            print(
+                f"{args.algorithm} variant {args.variant!r} has no bulk port",
+                file=sys.stderr,
+            )
+            return 2
+        program += "-bulk"
     runner = CELLS[(algo, program)]
 
     graph = load_dataset(args.dataset) if args.dataset else load_edgelist(args.graph)

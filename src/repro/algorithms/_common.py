@@ -6,7 +6,27 @@ import numpy as np
 
 from repro.core.engine import EngineResult
 
-__all__ = ["gather", "run_engine"]
+__all__ = ["gather", "run_engine", "resolve_mode"]
+
+
+def resolve_mode(variants: dict, variant: str, mode: str):
+    """Pick the program class for ``(variant, mode)`` from a table of
+    ``{variant: {"scalar": cls, "bulk": cls}}`` entries.
+
+    Raises ``ValueError`` for unknown variants/modes and for variants
+    that have no bulk port (e.g. the Propagation-channel versions, whose
+    compute is already trivial — see ARCHITECTURE.md).
+    """
+    if variant not in variants:
+        raise ValueError(f"unknown variant {variant!r}; have {sorted(variants)}")
+    modes = variants[variant]
+    if mode not in ("scalar", "bulk"):
+        raise ValueError(f"mode must be 'scalar' or 'bulk', got {mode!r}")
+    if mode not in modes:
+        raise ValueError(
+            f"variant {variant!r} has no {mode!r} port; available: {sorted(modes)}"
+        )
+    return modes[mode]
 
 
 def gather(result: EngineResult, n: int, dtype=np.int64) -> np.ndarray:

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms._common import gather
+from repro.algorithms._common import gather, resolve_mode
 from repro.core import (
+    BulkVertexProgram,
     ChannelEngine,
     CombinedMessage,
     MIN_I64,
@@ -20,7 +21,7 @@ from repro.core import (
 )
 from repro.graph.graph import Graph
 
-__all__ = ["BFSBasic", "BFSPropagation", "run_bfs"]
+__all__ = ["BFSBasic", "BFSBasicBulk", "BFSPropagation", "run_bfs"]
 
 UNREACHED = np.iinfo(np.int64).max
 
@@ -55,6 +56,42 @@ class BFSBasic(VertexProgram):
         return {int(g): int(self.level[i]) for i, g in enumerate(self.worker.local_ids)}
 
 
+class BFSBasicBulk(BulkVertexProgram):
+    """Bulk port of :class:`BFSBasic`: the whole frontier settles and
+    scatters ``level + 1`` in one set of array passes per superstep."""
+
+    source = 0
+
+    def __init__(self, worker):
+        super().__init__(worker)
+        self.msg = CombinedMessage(worker, MIN_I64)
+        self.level = np.full(worker.num_local, UNREACHED, dtype=np.int64)
+
+    def compute_bulk(self, active: np.ndarray) -> None:
+        worker = self.worker
+        adj = worker.local_adjacency()
+        if self.step_num == 1:
+            li = worker.local_index(self.source)
+            settled = (
+                np.asarray([li], dtype=np.int64) if li >= 0 else np.empty(0, np.int64)
+            )
+            levels = np.zeros(settled.size, dtype=np.int64)
+        else:
+            inbox, _ = self.msg.get_messages()
+            m = inbox[active]
+            improved = m < self.level[active]
+            settled = active[improved]
+            levels = m[improved]
+        if settled.size:
+            self.level[settled] = levels
+            dsts = adj.gather(settled)
+            self.msg.send_messages(dsts, np.repeat(levels + 1, adj.degrees[settled]))
+        worker.halt_bulk(active)
+
+    def finalize(self) -> dict:
+        return {int(g): int(self.level[i]) for i, g in enumerate(self.worker.local_ids)}
+
+
 class BFSPropagation(VertexProgram):
     """BFS on the Propagation channel: ``level + 1`` relaxation to
     fixpoint within a single superstep."""
@@ -81,13 +118,26 @@ class BFSPropagation(VertexProgram):
         return {int(g): int(self.level[i]) for i, g in enumerate(self.worker.local_ids)}
 
 
-def run_bfs(graph: Graph, source: int = 0, variant: str = "basic", **engine_kwargs):
+_VARIANTS = {
+    "basic": {"scalar": BFSBasic, "bulk": BFSBasicBulk},
+    "prop": {"scalar": BFSPropagation},
+}
+
+
+def run_bfs(
+    graph: Graph,
+    source: int = 0,
+    variant: str = "basic",
+    mode: str = "scalar",
+    **engine_kwargs,
+):
     """Run BFS; returns ``(levels, EngineResult)``.
 
     ``levels[v]`` is the hop distance from ``source``
-    (``np.iinfo(int64).max`` when unreachable).
+    (``np.iinfo(int64).max`` when unreachable).  ``mode="bulk"`` selects
+    the columnar compute path (``"basic"`` only).
     """
-    base = {"basic": BFSBasic, "prop": BFSPropagation}[variant]
+    base = resolve_mode(_VARIANTS, variant, mode)
     program = type(base.__name__, (base,), {"source": source})
     result = ChannelEngine(graph, program, **engine_kwargs).run()
     return gather(result, graph.num_vertices), result

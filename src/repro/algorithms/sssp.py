@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms._common import gather
+from repro.algorithms._common import gather, resolve_mode
 from repro.core import (
+    BulkVertexProgram,
     ChannelEngine,
     CombinedMessage,
     MIN_F64,
@@ -25,7 +26,13 @@ from repro.core import (
 )
 from repro.graph.graph import Graph
 
-__all__ = ["SSSPBasic", "SSSPPropagation", "run_sssp", "make_sssp_program"]
+__all__ = [
+    "SSSPBasic",
+    "SSSPBasicBulk",
+    "SSSPPropagation",
+    "run_sssp",
+    "make_sssp_program",
+]
 
 
 def _weights(v: Vertex) -> np.ndarray:
@@ -65,6 +72,45 @@ class SSSPBasic(VertexProgram):
         return {int(g): float(self.dist[i]) for i, g in enumerate(self.worker.local_ids)}
 
 
+class SSSPBasicBulk(BulkVertexProgram):
+    """Bulk port of :class:`SSSPBasic`: Bellman-Ford relaxation with whole
+    -frontier edge gathers (weights come from the local CSR view)."""
+
+    source = 0
+
+    def __init__(self, worker):
+        super().__init__(worker)
+        self.msg = CombinedMessage(worker, MIN_F64)
+        self.dist = np.full(worker.num_local, np.inf)
+
+    def compute_bulk(self, active: np.ndarray) -> None:
+        worker = self.worker
+        adj = worker.local_adjacency()
+        if self.step_num == 1:
+            li = worker.local_index(self.source)
+            settled = (
+                np.asarray([li], dtype=np.int64) if li >= 0 else np.empty(0, np.int64)
+            )
+            dists = np.zeros(settled.size)
+        else:
+            inbox, _ = self.msg.get_messages()
+            m = inbox[active]
+            improved = m < self.dist[active]
+            settled = active[improved]
+            dists = m[improved]
+        if settled.size:
+            self.dist[settled] = dists
+            dsts = adj.gather(settled)
+            w = adj.gather_weights(settled)
+            self.msg.send_messages(
+                dsts, np.repeat(dists, adj.degrees[settled]) + w
+            )
+        worker.halt_bulk(active)
+
+    def finalize(self) -> dict:
+        return {int(g): float(self.dist[i]) for i, g in enumerate(self.worker.local_ids)}
+
+
 class SSSPPropagation(VertexProgram):
     """SSSP on the Propagation channel (weighted relaxation to fixpoint)."""
 
@@ -88,14 +134,29 @@ class SSSPPropagation(VertexProgram):
         return {int(g): float(self.dist[i]) for i, g in enumerate(self.worker.local_ids)}
 
 
-def make_sssp_program(variant: str, source: int):
+_VARIANTS = {
+    "basic": {"scalar": SSSPBasic, "bulk": SSSPBasicBulk},
+    "prop": {"scalar": SSSPPropagation},
+}
+
+
+def make_sssp_program(variant: str, source: int, mode: str = "scalar"):
     """A program class with the source baked in."""
-    base = {"basic": SSSPBasic, "prop": SSSPPropagation}[variant]
+    base = resolve_mode(_VARIANTS, variant, mode)
     return type(base.__name__, (base,), {"source": source})
 
 
-def run_sssp(graph: Graph, source: int = 0, variant: str = "basic", **engine_kwargs):
-    """Run SSSP; returns ``(dists, EngineResult)`` (inf = unreachable)."""
-    program = make_sssp_program(variant, source)
+def run_sssp(
+    graph: Graph,
+    source: int = 0,
+    variant: str = "basic",
+    mode: str = "scalar",
+    **engine_kwargs,
+):
+    """Run SSSP; returns ``(dists, EngineResult)`` (inf = unreachable).
+
+    ``mode="bulk"`` selects the columnar compute path (``"basic"`` only).
+    """
+    program = make_sssp_program(variant, source, mode)
     result = ChannelEngine(graph, program, **engine_kwargs).run()
     return gather(result, graph.num_vertices, dtype=np.float64), result

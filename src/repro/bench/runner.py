@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from repro.algorithms.bfs import run_bfs
 from repro.algorithms.msf import run_msf
 from repro.algorithms.pagerank import run_pagerank
 from repro.algorithms.pointer_jumping import run_pointer_jumping
@@ -33,7 +34,7 @@ from repro.pregel_algorithms import (
     run_wcc_pregel,
 )
 
-__all__ = ["run_cell", "CELLS"]
+__all__ = ["run_cell", "CELLS", "BULK_PAIRS", "bulk_speedup_rows"]
 
 #: (algorithm, program) -> runner(graph, **kw) returning (..., EngineResult)
 CELLS = {
@@ -68,7 +69,48 @@ CELLS = {
     ("sssp", "pregel-basic"): run_sssp_pregel,
     ("sssp", "channel-basic"): lambda g, **kw: run_sssp(g, variant="basic", **kw),
     ("sssp", "channel-prop"): lambda g, **kw: run_sssp(g, variant="prop", **kw),
+    ("bfs", "channel-basic"): lambda g, **kw: run_bfs(g, variant="basic", **kw),
+    # bulk (columnar compute) counterparts of the channel programs above
+    ("pr", "channel-basic-bulk"): lambda g, **kw: run_pagerank(
+        g, variant="basic", mode="bulk", **kw
+    ),
+    ("pr", "channel-scatter-bulk"): lambda g, **kw: run_pagerank(
+        g, variant="scatter", mode="bulk", **kw
+    ),
+    ("pr", "channel-mirror-bulk"): lambda g, **kw: run_pagerank(
+        g, variant="mirror", mode="bulk", **kw
+    ),
+    ("wcc", "channel-basic-bulk"): lambda g, **kw: run_wcc(
+        g, variant="basic", mode="bulk", **kw
+    ),
+    ("bfs", "channel-basic-bulk"): lambda g, **kw: run_bfs(
+        g, variant="basic", mode="bulk", **kw
+    ),
+    ("sssp", "channel-basic-bulk"): lambda g, **kw: run_sssp(
+        g, variant="basic", mode="bulk", **kw
+    ),
 }
+
+#: (row name, scalar cell, bulk cell, extra kwargs) pairs measured by the
+#: scalar-vs-bulk speedup benchmark (BENCH_bulk.json)
+BULK_PAIRS = [
+    ("pr-basic", ("pr", "channel-basic"), ("pr", "channel-basic-bulk"), {"iterations": 5}),
+    (
+        "pr-scatter",
+        ("pr", "channel-scatter"),
+        ("pr", "channel-scatter-bulk"),
+        {"iterations": 5},
+    ),
+    (
+        "pr-mirror",
+        ("pr", "channel-mirror"),
+        ("pr", "channel-mirror-bulk"),
+        {"iterations": 5},
+    ),
+    ("wcc", ("wcc", "channel-basic"), ("wcc", "channel-basic-bulk"), {}),
+    ("bfs", ("bfs", "channel-basic"), ("bfs", "channel-basic-bulk"), {}),
+    ("sssp", ("sssp", "channel-basic"), ("sssp", "channel-basic-bulk"), {}),
+]
 
 _partition_cache: dict[tuple[str, int], np.ndarray] = {}
 
@@ -105,3 +147,30 @@ def run_cell(
         "rounds": m.total_rounds,
         "wall_s": round(wall, 3),
     }
+
+
+def bulk_speedup_rows(
+    dataset: str = "bulk-100k", num_workers: int = 8, pairs=None
+) -> list[dict]:
+    """Run every scalar/bulk program pair on ``dataset`` and report the
+    wall-time speedup of the columnar path, plus the traffic equality the
+    parity tests enforce (same supersteps, same messages, same bytes)."""
+    rows = []
+    for name, scalar_cell, bulk_cell, extra in pairs or BULK_PAIRS:
+        scalar = run_cell(*scalar_cell, dataset, num_workers=num_workers, **extra)
+        bulk = run_cell(*bulk_cell, dataset, num_workers=num_workers, **extra)
+        rows.append(
+            {
+                "algorithm": name,
+                "dataset": dataset,
+                "scalar_wall_s": scalar["wall_s"],
+                "bulk_wall_s": bulk["wall_s"],
+                "speedup": round(scalar["wall_s"] / max(bulk["wall_s"], 1e-9), 2),
+                "supersteps": scalar["supersteps"],
+                "traffic_identical": all(
+                    scalar[k] == bulk[k]
+                    for k in ("supersteps", "messages", "message_mb", "rounds")
+                ),
+            }
+        )
+    return rows

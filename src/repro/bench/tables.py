@@ -117,11 +117,13 @@ def table7(num_workers: int = 8) -> list[dict]:
     return rows
 
 
-def render_rows(rows: list[dict], title: str = "") -> str:
-    """Fixed-width table in the paper's (runtime, message) format."""
+def render_rows(rows: list[dict], title: str = "", cols: list[str] | None = None) -> str:
+    """Fixed-width table in the paper's (runtime, message) format; pass
+    ``cols`` to render rows with a different shape (e.g. speedup rows)."""
     if not rows:
         return f"{title}\n(no rows)"
-    cols = ["algorithm", "program", "dataset", "runtime", "message_mb", "supersteps", "wall_s"]
+    if cols is None:
+        cols = ["algorithm", "program", "dataset", "runtime", "message_mb", "supersteps", "wall_s"]
     widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in cols}
     lines = []
     if title:

@@ -27,9 +27,10 @@ from repro.core.combiner import (
     MAX_I64,
     MAX_I32,
 )
+from repro.core.adjacency import LocalCSR
 from repro.core.vertex import Vertex
 from repro.core.channel import Channel
-from repro.core.program import VertexProgram
+from repro.core.program import VertexProgram, BulkVertexProgram
 from repro.core.worker import Worker
 from repro.core.engine import ChannelEngine, EngineResult
 from repro.core.channels.direct import DirectMessage
@@ -55,6 +56,8 @@ __all__ = [
     "Vertex",
     "Channel",
     "VertexProgram",
+    "BulkVertexProgram",
+    "LocalCSR",
     "Worker",
     "ChannelEngine",
     "EngineResult",

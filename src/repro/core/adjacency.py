@@ -1,0 +1,133 @@
+"""Local CSR adjacency views for the bulk compute path.
+
+A :class:`LocalCSR` is the adjacency of one worker's owned vertices,
+re-indexed so that row ``i`` is local vertex ``i`` (column entries remain
+*global* vertex ids, since messages address global ids).  Bulk programs
+(see ARCHITECTURE.md) use it to turn per-vertex edge iteration into whole
+-frontier gathers: ``adj.gather(active)`` yields the destinations of every
+out-edge of the active set in one NumPy pass, in exactly the order the
+scalar path would visit them (ascending local index, CSR edge order) — the
+property the scalar/bulk parity tests rely on.
+
+Directions:
+
+* ``"out"`` — rows are out-edges (the common case).
+* ``"in"``  — rows are in-edges (built from the graph's reverse CSR).
+* ``"both"``— per row: out-edges then in-edges, matching the
+  ``np.concatenate([neighbors, in_neighbors])`` idiom of scalar WCC.
+
+On undirected graphs all three directions coincide with ``"out"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.util import expand_ranges
+
+__all__ = ["LocalCSR", "build_local_csr"]
+
+
+@dataclass(frozen=True)
+class LocalCSR:
+    """Read-only CSR over one worker's local vertices.
+
+    Attributes
+    ----------
+    indptr:
+        ``(num_local + 1,)`` row pointers.
+    indices:
+        Global destination ids, concatenated per local row.
+    weights:
+        Optional per-edge weights aligned with ``indices``.
+    degrees:
+        ``(num_local,)`` row lengths (``np.diff(indptr)``).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None
+    degrees: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    def row(self, local_idx: int) -> np.ndarray:
+        """Destinations of one local vertex (a view)."""
+        return self.indices[self.indptr[local_idx] : self.indptr[local_idx + 1]]
+
+    def _edge_positions(self, rows: np.ndarray) -> np.ndarray:
+        starts = self.indptr[rows]
+        return expand_ranges(starts, self.degrees[rows])
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Destinations of every edge of ``rows``, concatenated in row
+        order — the bulk analogue of looping ``v.edges`` over a frontier."""
+        return self.indices[self._edge_positions(rows)]
+
+    def gather_weights(self, rows: np.ndarray) -> np.ndarray:
+        """Edge weights aligned with :meth:`gather` (ones if unweighted)."""
+        if self.weights is None:
+            return np.ones(int(self.degrees[rows].sum()))
+        return self.weights[self._edge_positions(rows)]
+
+
+def _slice_rows(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray | None,
+    rows: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """(degrees, gathered indices, gathered weights) of ``rows`` in a
+    global CSR."""
+    deg = indptr[rows + 1] - indptr[rows]
+    pos = expand_ranges(indptr[rows], deg)
+    return deg, indices[pos], None if weights is None else weights[pos]
+
+
+def build_local_csr(graph: Graph, local_ids: np.ndarray, direction: str = "out") -> LocalCSR:
+    """Build the local adjacency of ``local_ids`` in the given direction."""
+    if direction not in ("out", "in", "both"):
+        raise ValueError(f"direction must be 'out', 'in' or 'both', got {direction!r}")
+    if not graph.directed:
+        direction = "out"  # all directions coincide on undirected graphs
+
+    if direction in ("in", "both"):
+        graph._ensure_reverse()
+
+    if direction == "in":
+        deg, idx, w = _slice_rows(
+            graph._rev_indptr, graph._rev_indices, graph._rev_weights, local_ids
+        )
+    elif direction == "out":
+        deg, idx, w = _slice_rows(graph.indptr, graph.indices, graph.weights, local_ids)
+    else:  # both: out-edges then in-edges per row
+        deg_o, idx_o, w_o = _slice_rows(
+            graph.indptr, graph.indices, graph.weights, local_ids
+        )
+        deg_i, idx_i, w_i = _slice_rows(
+            graph._rev_indptr, graph._rev_indices, graph._rev_weights, local_ids
+        )
+        deg = deg_o + deg_i
+        indptr = np.zeros(local_ids.size + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        idx = np.empty(int(deg.sum()), dtype=np.int64)
+        out_pos = expand_ranges(indptr[:-1], deg_o)
+        in_pos = expand_ranges(indptr[:-1] + deg_o, deg_i)
+        idx[out_pos] = idx_o
+        idx[in_pos] = idx_i
+        if w_o is not None:
+            w = np.empty(idx.size)
+            w[out_pos] = w_o
+            w[in_pos] = w_i
+        else:
+            w = None
+        return LocalCSR(indptr=indptr, indices=idx, weights=w, degrees=deg)
+
+    indptr = np.zeros(local_ids.size + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+    return LocalCSR(indptr=indptr, indices=idx, weights=w, degrees=deg)

@@ -1,0 +1,107 @@
+"""Shared send side of the record channels.
+
+``DirectMessage`` and ``CombinedMessage`` have identical wire output —
+per peer and round, an ``int32`` destination array followed by a value
+array — and differ only in how the receiver consumes it.  This base
+class owns the whole send path so the two cannot drift: scalar appends,
+vectorized array sends, peer routing, and serialization.
+
+Drain order per peer: all scalar :meth:`send_message` records first (in
+call order), then array :meth:`send_messages` chunks (in call order).
+Programs that use only one of the two surfaces — every in-tree program —
+therefore see exactly their call order on the wire; mixing both in one
+superstep serializes the scalar records ahead of the array ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.channel import Channel
+from repro.core.worker import Worker
+from repro.runtime.serialization import Codec, INT32
+from repro.util import group_starts
+
+__all__ = ["RecordChannel"]
+
+
+class RecordChannel(Channel):
+    """Channel whose outgoing traffic is (dst, value) record arrays."""
+
+    def __init__(self, worker: Worker, value_codec: Codec) -> None:
+        super().__init__(worker)
+        self.value_codec = value_codec
+        m = worker.num_workers
+        self._pending_dst: list[list[int]] = [[] for _ in range(m)]
+        self._pending_val: list[list] = [[] for _ in range(m)]
+        # array sends accumulate whole chunks (no per-element Python work)
+        self._chunk_dst: list[list[np.ndarray]] = [[] for _ in range(m)]
+        self._chunk_val: list[list[np.ndarray]] = [[] for _ in range(m)]
+
+    # -- sending (during compute) -----------------------------------------
+    def send_message(self, dst: int, value) -> None:
+        peer = self.worker.owner_of(dst)
+        self._pending_dst[peer].append(dst)
+        self._pending_val[peer].append(value)
+
+    def send_messages(self, dsts: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized send of many ``(dst, value)`` records, preserving
+        their order within each destination worker (so a bulk program's
+        wire bytes match the scalar loop it replaces record-for-record;
+        see the module docstring for the order when mixed with
+        :meth:`send_message`)."""
+        dsts = np.asarray(dsts, dtype=np.int64)
+        values = np.asarray(values, dtype=self.value_codec.dtype)
+        if dsts.size == 0:
+            return
+        owners = self.worker.owner[dsts]
+        order = np.argsort(owners, kind="stable")
+        peers, starts = group_starts(owners[order])
+        bounds = np.append(starts, order.size)
+        for k, peer in enumerate(peers.tolist()):
+            sel = order[bounds[k] : bounds[k + 1]]
+            self._chunk_dst[peer].append(dsts[sel])
+            self._chunk_val[peer].append(values[sel])
+
+    #: backwards-compatible alias for the vectorized send
+    send_message_bulk = send_messages
+
+    def _drain_pending(self, peer: int) -> tuple[np.ndarray, np.ndarray]:
+        """All pending (dst, value) records for ``peer``: scalar appends
+        first, then array chunks, each in call order."""
+        dst_parts: list[np.ndarray] = []
+        val_parts: list[np.ndarray] = []
+        if self._pending_dst[peer]:
+            dst_parts.append(np.asarray(self._pending_dst[peer], dtype=np.int64))
+            val_parts.append(
+                np.asarray(self._pending_val[peer], dtype=self.value_codec.dtype)
+            )
+        dst_parts += self._chunk_dst[peer]
+        val_parts += self._chunk_val[peer]
+        self._pending_dst[peer] = []
+        self._pending_val[peer] = []
+        self._chunk_dst[peer] = []
+        self._chunk_val[peer] = []
+        if not dst_parts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=self.value_codec.dtype)
+        if len(dst_parts) == 1:
+            return dst_parts[0], val_parts[0]
+        return np.concatenate(dst_parts), np.concatenate(val_parts)
+
+    # -- round protocol ----------------------------------------------------
+    def serialize(self) -> None:
+        if self.round != 0:
+            return
+        net_msgs = 0
+        for peer in range(self.num_workers):
+            dsts, vals = self._drain_pending(peer)
+            if dsts.size == 0:
+                continue
+            payload = (
+                INT32.encode_array(dsts)
+                + self.value_codec.encode_array(vals)
+            )
+            self.emit(peer, payload)
+            if peer != self.worker.worker_id:
+                net_msgs += int(dsts.size)
+        self.count_net_messages(net_msgs)

@@ -9,6 +9,8 @@ contributions, matching Pregel's aggregator semantics (Fig. 1 reads
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.channel import Channel
 from repro.core.combiner import Combiner
 from repro.core.worker import Worker
@@ -41,6 +43,29 @@ class Aggregator(Channel):
     # -- contributing (during compute) ----------------------------------
     def add(self, value) -> None:
         self._partial = self.combiner.combine(self._partial, value)
+        self._contributed = True
+
+    def add_bulk(self, values: np.ndarray) -> None:
+        """Contribute a whole array in one call.
+
+        Folds left-to-right (``ufunc.accumulate``), i.e. exactly the
+        sequence of combines a loop of :meth:`add` calls would perform —
+        so a bulk program's float aggregates are bit-identical to its
+        scalar counterpart's, not merely close (``ufunc.reduce`` would
+        use pairwise summation and drift in the last ulp).
+        """
+        values = np.asarray(values, dtype=self.value_codec.dtype)
+        if values.size == 0:
+            return
+        uf = self.combiner.ufunc
+        if uf is not None:
+            seeded = np.empty(values.size + 1, dtype=values.dtype)
+            seeded[0] = self._partial
+            seeded[1:] = values
+            self._partial = uf.accumulate(seeded)[-1]
+        else:
+            for v in values:
+                self._partial = self.combiner.fn(self._partial, v)
         self._contributed = True
 
     # -- reading (next superstep) ------------------------------------------

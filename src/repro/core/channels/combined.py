@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.channel import Channel
+from repro.core.channels._records import RecordChannel
 from repro.core.combiner import Combiner
 from repro.core.vertex import Vertex
 from repro.core.worker import Worker
@@ -22,8 +22,10 @@ from repro.runtime.serialization import INT32
 __all__ = ["CombinedMessage"]
 
 
-class CombinedMessage(Channel):
+class CombinedMessage(RecordChannel):
     """Combine all messages for one receiver into a single value.
+
+    The send path (scalar and vectorized) lives in :class:`RecordChannel`.
 
     Parameters
     ----------
@@ -34,29 +36,12 @@ class CombinedMessage(Channel):
     """
 
     def __init__(self, worker: Worker, combiner: Combiner) -> None:
-        super().__init__(worker)
+        super().__init__(worker, combiner.codec)
         self.combiner = combiner
-        self.value_codec = combiner.codec
-        m = worker.num_workers
-        self._pending_dst: list[list[int]] = [[] for _ in range(m)]
-        self._pending_val: list[list] = [[] for _ in range(m)]
         self._slots = np.full(
             worker.num_local, combiner.identity, dtype=combiner.codec.dtype
         )
         self._has_msg = np.zeros(worker.num_local, dtype=bool)
-
-    # -- sending ----------------------------------------------------------
-    def send_message(self, dst: int, value) -> None:
-        peer = self.worker.owner_of(dst)
-        self._pending_dst[peer].append(dst)
-        self._pending_val[peer].append(value)
-
-    def send_message_bulk(self, dsts: np.ndarray, values: np.ndarray) -> None:
-        owners = self.worker.owner[dsts]
-        for peer in np.unique(owners):
-            mask = owners == peer
-            self._pending_dst[peer].extend(np.asarray(dsts)[mask].tolist())
-            self._pending_val[peer].extend(np.asarray(values)[mask].tolist())
 
     # -- receiving -----------------------------------------------------------
     def get_message(self, v: Vertex):
@@ -64,29 +49,16 @@ class CombinedMessage(Channel):
         combiner's identity if none arrived)."""
         return self._slots[v.local]
 
+    def get_messages(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, has_msg)`` views over all local vertices: the
+        combined inbox per local index and the mask of receivers.  Treat
+        as read-only; rewritten by the next exchange."""
+        return self._slots, self._has_msg
+
     def has_message(self, v: Vertex) -> bool:
         return bool(self._has_msg[v.local])
 
-    # -- round protocol ----------------------------------------------------
-    def serialize(self) -> None:
-        if self.round != 0:
-            return
-        net_msgs = 0
-        for peer in range(self.num_workers):
-            dsts = self._pending_dst[peer]
-            if not dsts:
-                continue
-            payload = (
-                INT32.encode_array(dsts)
-                + self.value_codec.encode_array(self._pending_val[peer])
-            )
-            self.emit(peer, payload)
-            if peer != self.worker.worker_id:
-                net_msgs += len(dsts)
-            self._pending_dst[peer] = []
-            self._pending_val[peer] = []
-        self.count_net_messages(net_msgs)
-
+    # -- round protocol (serialize inherited from RecordChannel) ------------
     def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
         self.round += 1
         worker = self.worker

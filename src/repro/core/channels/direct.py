@@ -12,19 +12,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.channel import Channel
+from repro.core.channels._records import RecordChannel
 from repro.core.worker import Worker
 from repro.core.vertex import Vertex
 from repro.runtime.serialization import Codec, INT32, INT64
 
 __all__ = ["DirectMessage"]
 
-_EMPTY = np.empty(0, dtype=np.int64)
 
-
-class DirectMessage(Channel):
+class DirectMessage(RecordChannel):
     """Send arbitrary values to arbitrary vertices; read them all next
     superstep via :meth:`get_iterator`.
+
+    The send path (scalar and vectorized) lives in :class:`RecordChannel`.
 
     Parameters
     ----------
@@ -35,30 +35,18 @@ class DirectMessage(Channel):
     """
 
     def __init__(self, worker: Worker, value_codec: Codec = INT64) -> None:
-        super().__init__(worker)
-        self.value_codec = value_codec
-        m = worker.num_workers
-        self._pending_dst: list[list[int]] = [[] for _ in range(m)]
-        self._pending_val: list[list] = [[] for _ in range(m)]
+        super().__init__(worker, value_codec)
         # receive side: messages grouped by local vertex
         self._recv_indptr = np.zeros(worker.num_local + 1, dtype=np.int64)
         self._recv_vals = np.empty(0, dtype=value_codec.dtype)
 
-    # -- sending (during compute) -----------------------------------------
-    def send_message(self, dst: int, value) -> None:
-        peer = self.worker.owner_of(dst)
-        self._pending_dst[peer].append(dst)
-        self._pending_val[peer].append(value)
-
-    def send_message_bulk(self, dsts: np.ndarray, values: np.ndarray) -> None:
-        """Vectorized send: one call for many (dst, value) pairs."""
-        owners = self.worker.owner[dsts]
-        for peer in np.unique(owners):
-            mask = owners == peer
-            self._pending_dst[peer].extend(np.asarray(dsts)[mask].tolist())
-            self._pending_val[peer].extend(np.asarray(values)[mask].tolist())
-
     # -- receiving (next superstep's compute) --------------------------------
+    def get_messages(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, values)`` views of the whole inbox in CSR form:
+        messages for local vertex ``i`` are ``values[indptr[i]:indptr[i+1]]``.
+        The bulk analogue of :meth:`get_iterator`; treat as read-only."""
+        return self._recv_indptr, self._recv_vals
+
     def get_iterator(self, v: Vertex) -> np.ndarray:
         """All message values delivered to ``v`` this superstep."""
         vals = self._recv_vals
@@ -70,26 +58,7 @@ class DirectMessage(Channel):
     def has_messages(self, v: Vertex) -> bool:
         return bool(self._recv_indptr[v.local + 1] > self._recv_indptr[v.local])
 
-    # -- round protocol ----------------------------------------------------
-    def serialize(self) -> None:
-        if self.round != 0:
-            return
-        net_msgs = 0
-        for peer in range(self.num_workers):
-            dsts = self._pending_dst[peer]
-            if not dsts:
-                continue
-            payload = (
-                INT32.encode_array(dsts)
-                + self.value_codec.encode_array(self._pending_val[peer])
-            )
-            self.emit(peer, payload)
-            if peer != self.worker.worker_id:
-                net_msgs += len(dsts)
-            self._pending_dst[peer] = []
-            self._pending_val[peer] = []
-        self.count_net_messages(net_msgs)
-
+    # -- round protocol (serialize inherited from RecordChannel) ------------
     def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
         self.round += 1
         worker = self.worker

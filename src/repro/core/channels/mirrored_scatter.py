@@ -57,9 +57,11 @@ class MirroredScatter(Channel):
         self.combiner = combiner
         self.value_codec = combiner.codec
         self.threshold = threshold
-        # edge collection
+        # edge collection (scalar appends + bulk array chunks)
         self._edge_src: list[int] = []
         self._edge_dst: list[int] = []
+        self._edge_src_chunks: list[np.ndarray] = []
+        self._edge_dst_chunks: list[np.ndarray] = []
         self._built = False
         # per-superstep state
         self._values = np.full(
@@ -95,9 +97,23 @@ class MirroredScatter(Channel):
         self._edge_dst.extend(np.asarray(dsts).tolist())
         self._built = False
 
+    def add_edges_bulk(self, local_src: np.ndarray, dsts: np.ndarray) -> None:
+        """Register many edges at once (``local_src[i]`` -> ``dsts[i]``)."""
+        local_src = np.asarray(local_src, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if local_src.shape != dsts.shape:
+            raise ValueError("local_src and dsts must have equal length")
+        self._edge_src_chunks.append(local_src)
+        self._edge_dst_chunks.append(dsts)
+        self._built = False
+
     def _build(self) -> None:
-        src = np.asarray(self._edge_src, dtype=np.int64)
-        dst = np.asarray(self._edge_dst, dtype=np.int64)
+        src = np.concatenate(
+            [np.asarray(self._edge_src, dtype=np.int64)] + self._edge_src_chunks
+        )
+        dst = np.concatenate(
+            [np.asarray(self._edge_dst, dtype=np.int64)] + self._edge_dst_chunks
+        )
         owner = self.worker.owner[dst] if dst.size else dst.copy()
         m = self.num_workers
         self._plain_src = []
@@ -156,8 +172,17 @@ class MirroredScatter(Channel):
 
     send_message = set_message
 
+    def set_messages(self, local_idx: np.ndarray, values: np.ndarray) -> None:
+        """Array form of :meth:`set_message` for bulk programs."""
+        self._values[local_idx] = values
+        self._dirty = True
+
     def get_message(self, v: Vertex):
         return self._slots[v.local]
+
+    def get_messages(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, has_msg)`` read-only views over all local vertices."""
+        return self._slots, self._has_msg
 
     def has_message(self, v: Vertex) -> bool:
         return bool(self._has_msg[v.local])

@@ -47,9 +47,11 @@ class ScatterCombine(Channel):
         #: ablation switch (D2 in DESIGN.md): combine per destination with
         #: a hash map instead of the pre-sorted linear scan of Fig. 5
         self.use_hash = use_hash
-        # edge collection phase
+        # edge collection phase (scalar appends + bulk array chunks)
         self._edge_src: list[int] = []
         self._edge_dst: list[int] = []
+        self._edge_src_chunks: list[np.ndarray] = []
+        self._edge_dst_chunks: list[np.ndarray] = []
         self._built = False
         # per-superstep state
         self._values = np.full(
@@ -82,10 +84,26 @@ class ScatterCombine(Channel):
         self._edge_dst.extend(np.asarray(dsts).tolist())
         self._built = False
 
+    def add_edges_bulk(self, local_src: np.ndarray, dsts: np.ndarray) -> None:
+        """Register many edges in one call: ``local_src[i]`` (a *local*
+        sender index) scatters to global vertex ``dsts[i]``.  The bulk
+        analogue of calling :meth:`add_edges` over a whole frontier."""
+        local_src = np.asarray(local_src, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if local_src.shape != dsts.shape:
+            raise ValueError("local_src and dsts must have equal length")
+        self._edge_src_chunks.append(local_src)
+        self._edge_dst_chunks.append(dsts)
+        self._built = False
+
     def _build(self) -> None:
         """Pre-sort edges by destination (the one-time cost of Fig. 5)."""
-        src = np.asarray(self._edge_src, dtype=np.int64)
-        dst = np.asarray(self._edge_dst, dtype=np.int64)
+        src = np.concatenate(
+            [np.asarray(self._edge_src, dtype=np.int64)] + self._edge_src_chunks
+        )
+        dst = np.concatenate(
+            [np.asarray(self._edge_dst, dtype=np.int64)] + self._edge_dst_chunks
+        )
         order = np.argsort(dst, kind="stable")
         dst_sorted = dst[order]
         self._seg_edge_src = src[order]
@@ -114,9 +132,23 @@ class ScatterCombine(Channel):
     # send_message() interface")
     send_message = set_message
 
+    def set_messages(self, local_idx: np.ndarray, values: np.ndarray) -> None:
+        """Array form of :meth:`set_message`: ``local_idx[i]`` scatters
+        ``values[i]`` along its registered edges this superstep."""
+        self._values[local_idx] = values
+        self._sent_mask[local_idx] = True
+        self._dirty = True
+
     def get_message(self, v: Vertex):
         """Combined value of everything scattered to ``v`` last superstep."""
         return self._slots[v.local]
+
+    def get_messages(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, has_msg)`` views over all local vertices — the
+        combined value per local index plus a mask of who received
+        anything.  Treat both as read-only; they are rewritten on the next
+        exchange."""
+        return self._slots, self._has_msg
 
     def has_message(self, v: Vertex) -> bool:
         return bool(self._has_msg[v.local])

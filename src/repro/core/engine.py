@@ -30,7 +30,12 @@ __all__ = ["ChannelEngine", "EngineResult"]
 
 @dataclass
 class EngineResult:
-    """Outcome of one engine run."""
+    """Outcome of one engine run.
+
+    The pass-through properties mirror the most-used
+    :class:`~repro.runtime.metrics.MetricsCollector` totals so callers
+    (benchmarks, examples) don't reach into ``result.metrics`` internals.
+    """
 
     data: dict = field(default_factory=dict)
     metrics: MetricsCollector | None = None
@@ -38,6 +43,21 @@ class EngineResult:
     @property
     def supersteps(self) -> int:
         return self.metrics.supersteps if self.metrics else 0
+
+    @property
+    def total_net_bytes(self) -> int:
+        """Serialized bytes that crossed worker boundaries."""
+        return self.metrics.total_net_bytes if self.metrics else 0
+
+    @property
+    def total_messages(self) -> int:
+        """Network messages counted by all channels."""
+        return self.metrics.total_messages if self.metrics else 0
+
+    @property
+    def simulated_time(self) -> float:
+        """Modeled parallel runtime (max compute + network per superstep)."""
+        return self.metrics.simulated_time if self.metrics else 0.0
 
 
 class ChannelEngine:
@@ -122,7 +142,9 @@ class ChannelEngine:
                 )
             metrics.start_superstep(total_active)
 
-            # 1. vertex compute (parallel across workers -> charge max)
+            # 1. vertex compute (parallel across workers -> charge max);
+            # each worker dispatches scalar (per-vertex) or bulk
+            # (whole-active-set) per its program's is_bulk flag
             for worker, active in zip(self.workers, active_sets):
                 t0 = time.perf_counter()
                 worker.run_compute(active)

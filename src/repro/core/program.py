@@ -13,6 +13,12 @@ Differences from the paper's C++ API, by design:
   is both more Pythonic and directly testable;
 * per-vertex state lives in program-owned arrays rather than a
   ``value()`` struct, per the NumPy idiom of keeping hot state columnar.
+
+Two compute paths exist (see ARCHITECTURE.md for when to use which):
+
+* :class:`VertexProgram` — ``compute(v)`` is called once per active vertex.
+* :class:`BulkVertexProgram` — ``compute_bulk(active)`` is called once per
+  worker per superstep with the whole active set as a NumPy index array.
 """
 
 from __future__ import annotations
@@ -20,14 +26,24 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from repro.core.vertex import Vertex
     from repro.core.worker import Worker
 
-__all__ = ["VertexProgram"]
+__all__ = ["VertexProgram", "BulkVertexProgram"]
 
 
 class VertexProgram:
-    """Base class for channel-based vertex programs."""
+    """Base class for channel-based vertex programs.
+
+    The engine calls :meth:`compute` once per active vertex per superstep;
+    see ARCHITECTURE.md for the layer map and the columnar alternative,
+    :class:`BulkVertexProgram`.
+    """
+
+    #: dispatch flag read by :meth:`Worker.run_compute`
+    is_bulk = False
 
     def __init__(self, worker: "Worker") -> None:
         self.worker = worker
@@ -68,3 +84,33 @@ class VertexProgram:
     def num_local(self) -> int:
         """Vertices owned by this worker."""
         return self.worker.num_local
+
+
+class BulkVertexProgram(VertexProgram):
+    """Base class for columnar (whole-active-set) vertex programs.
+
+    Instead of one ``compute(v)`` call per active vertex, the worker makes
+    a single :meth:`compute_bulk` call per superstep, passing the sorted
+    local indices of the active set.  Implementations operate on
+    program-owned NumPy state arrays and the channels' array APIs
+    (``set_messages``, ``send_messages``, ``get_messages``,
+    ``add_edges_bulk``, ``Aggregator.add_bulk``), plus the worker's
+    vectorized control surface (``halt_bulk``, ``activate_local_bulk``,
+    ``local_adjacency``).  ARCHITECTURE.md documents the porting recipe
+    and the FP-ordering rules that keep bulk output bit-identical to the
+    scalar original.
+    """
+
+    is_bulk = True
+
+    def compute_bulk(self, active: "np.ndarray") -> None:
+        """Run one superstep over the whole active set (sorted local
+        indices).  Called exactly once per worker per superstep with a
+        non-empty frontier."""
+        raise NotImplementedError
+
+    def compute(self, v: "Vertex") -> None:  # pragma: no cover - guard
+        raise TypeError(
+            f"{type(self).__name__} is a bulk program; the engine calls "
+            "compute_bulk(active), never per-vertex compute()"
+        )

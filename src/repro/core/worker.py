@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.adjacency import LocalCSR, build_local_csr
 from repro.core.vertex import Vertex
 from repro.runtime.buffers import WorkerBuffers
 
@@ -55,6 +56,7 @@ class Worker:
         self.channels: list["Channel"] = []
         self._vertex = Vertex(self)
         self.program = None  # set by the engine after construction
+        self._local_adj: dict[str, LocalCSR] = {}
 
     # -- registration -------------------------------------------------------
     def register_channel(self, channel: "Channel") -> int:
@@ -77,9 +79,19 @@ class Worker:
     def halt(self, local_idx: int) -> None:
         self.halted[local_idx] = True
 
+    def halt_bulk(self, local_idx: np.ndarray) -> None:
+        """Vote-to-halt a whole array of local indices at once."""
+        self.halted[local_idx] = True
+
     def activate(self, vid: int) -> None:
         """Wake an owned vertex for the next superstep (message arrival)."""
-        self.woken[self._local_index[vid]] = True
+        idx = self._local_index[vid]
+        if idx < 0:
+            raise ValueError(
+                f"vertex {vid} is not owned by worker {self.worker_id}; "
+                "activate() only accepts local vertices"
+            )
+        self.woken[idx] = True
 
     def activate_local(self, local_idx: int) -> None:
         self.woken[local_idx] = True
@@ -98,9 +110,29 @@ class Worker:
     def step_num(self) -> int:
         return self.engine.step_num
 
+    # -- adjacency views ------------------------------------------------------
+    def local_adjacency(self, direction: str = "out") -> LocalCSR:
+        """CSR adjacency of this worker's vertices (built lazily, cached).
+
+        ``direction`` is ``"out"``, ``"in"`` or ``"both"`` (out-edges then
+        in-edges per row); bulk programs use it for whole-frontier edge
+        gathers instead of per-vertex ``v.edges`` loops.
+        """
+        if direction not in self._local_adj:
+            self._local_adj[direction] = build_local_csr(
+                self.graph, self.local_ids, direction
+            )
+        return self._local_adj[direction]
+
     # -- compute dispatch ------------------------------------------------------
     def run_compute(self, active: np.ndarray) -> None:
         program = self.program
+        if program.is_bulk:
+            # bulk path: one call per worker per superstep, no Vertex
+            # binding; an idle worker gets no call, matching the scalar loop
+            if active.size:
+                program.compute_bulk(active)
+            return
         v = self._vertex
         for idx in active:
             program.compute(v._bind(idx))

@@ -54,7 +54,15 @@ class TestDatasets:
 class TestRunner:
     def test_cells_cover_all_table_programs(self):
         algos = {a for a, _ in CELLS}
-        assert algos == {"pr", "pj", "wcc", "sv", "scc", "msf", "sssp"}
+        # bfs joined the registry with the scalar-vs-bulk speedup bench
+        assert algos == {"pr", "pj", "wcc", "sv", "scc", "msf", "sssp", "bfs"}
+
+    def test_every_bulk_pair_names_registered_cells(self):
+        from repro.bench.runner import BULK_PAIRS
+
+        for _name, scalar_cell, bulk_cell, _extra in BULK_PAIRS:
+            assert scalar_cell in CELLS
+            assert bulk_cell in CELLS
 
     def test_run_cell_row_schema(self):
         row = run_cell("wcc", "channel-prop", "facebook", num_workers=4)

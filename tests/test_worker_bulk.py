@@ -1,0 +1,208 @@
+"""The bulk compute path's core machinery: dispatch, vectorized
+halt/activate, local CSR adjacency views, and EngineResult ergonomics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BulkVertexProgram,
+    ChannelEngine,
+    CombinedMessage,
+    EngineResult,
+    SUM_I64,
+    VertexProgram,
+)
+from repro.graph import rmat
+from repro.graph.graph import Graph
+from helpers import line_graph
+
+
+def make_engine(n=6, workers=2):
+    class Idle(VertexProgram):
+        def compute(self, v):
+            v.vote_to_halt()
+
+    return ChannelEngine(line_graph(n), Idle, num_workers=workers)
+
+
+class TestActivateValidation:
+    def test_activate_non_owned_vertex_raises(self):
+        """Regression: activate() on a non-owned vertex used to index
+        woken[-1], silently corrupting the last local vertex's wake
+        state."""
+        engine = make_engine(n=6, workers=2)
+        w = engine.workers[0]
+        foreign = next(v for v in range(6) if engine.owner[v] != 0)
+        with pytest.raises(ValueError, match="not owned"):
+            w.activate(foreign)
+
+    def test_activate_does_not_corrupt_last_local_vertex(self):
+        engine = make_engine(n=6, workers=2)
+        w = engine.workers[0]
+        w.begin_superstep()
+        w.halt_bulk(np.arange(w.num_local))
+        foreign = next(v for v in range(6) if engine.owner[v] != 0)
+        with pytest.raises(ValueError):
+            w.activate(foreign)
+        # the bogus wake must not have revived anyone
+        assert w.begin_superstep().size == 0
+
+    def test_activate_owned_vertex_still_works(self):
+        engine = make_engine(n=6, workers=2)
+        w = engine.workers[0]
+        w.begin_superstep()
+        vid = int(w.local_ids[0])
+        w.halt_bulk(np.arange(w.num_local))
+        w.activate(vid)
+        assert w.begin_superstep().tolist() == [w.local_index(vid)]
+
+
+class TestHaltBulk:
+    def test_halt_bulk_matches_scalar_halt(self):
+        engine = make_engine(n=8, workers=1)
+        w = engine.workers[0]
+        w.begin_superstep()
+        w.halt_bulk(np.array([1, 3, 5]))
+        assert w.begin_superstep().tolist() == [0, 2, 4, 6, 7]
+
+
+class TestLocalAdjacency:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return rmat(7, edge_factor=5, seed=11, directed=True)
+
+    def test_out_rows_match_graph_neighbors(self, graph):
+        engine = ChannelEngine(graph, _idle_program(), num_workers=3)
+        for w in engine.workers:
+            adj = w.local_adjacency()
+            for i, g in enumerate(w.local_ids.tolist()):
+                np.testing.assert_array_equal(adj.row(i), graph.neighbors(g))
+            np.testing.assert_array_equal(adj.degrees, graph.out_degrees[w.local_ids])
+
+    def test_both_rows_are_out_then_in(self, graph):
+        engine = ChannelEngine(graph, _idle_program(), num_workers=2)
+        w = engine.workers[0]
+        adj = w.local_adjacency("both")
+        for i, g in enumerate(w.local_ids.tolist()):
+            expect = np.concatenate([graph.neighbors(g), graph.in_neighbors(g)])
+            np.testing.assert_array_equal(adj.row(i), expect)
+
+    def test_gather_concatenates_in_row_order(self, graph):
+        engine = ChannelEngine(graph, _idle_program(), num_workers=2)
+        w = engine.workers[0]
+        adj = w.local_adjacency()
+        rows = np.array([0, 2, 3])
+        expect = np.concatenate([adj.row(i) for i in rows.tolist()])
+        np.testing.assert_array_equal(adj.gather(rows), expect)
+
+    def test_gather_weights_aligned(self):
+        g = rmat(6, edge_factor=4, seed=12, directed=True, weighted=True)
+        engine = ChannelEngine(g, _idle_program(), num_workers=2)
+        w = engine.workers[0]
+        adj = w.local_adjacency()
+        rows = np.arange(w.num_local)
+        expect = np.concatenate(
+            [g.edge_weights(int(v)) for v in w.local_ids] or [np.empty(0)]
+        )
+        np.testing.assert_array_equal(adj.gather_weights(rows), expect)
+
+    def test_unweighted_gather_weights_are_ones(self, graph):
+        engine = ChannelEngine(graph, _idle_program(), num_workers=2)
+        w = engine.workers[0]
+        adj = w.local_adjacency()
+        rows = np.arange(min(4, w.num_local))
+        np.testing.assert_array_equal(
+            adj.gather_weights(rows), np.ones(int(adj.degrees[rows].sum()))
+        )
+
+    def test_cached_per_direction(self, graph):
+        engine = ChannelEngine(graph, _idle_program(), num_workers=2)
+        w = engine.workers[0]
+        assert w.local_adjacency() is w.local_adjacency()
+        assert w.local_adjacency("both") is w.local_adjacency("both")
+        assert w.local_adjacency() is not w.local_adjacency("both")
+
+    def test_bad_direction_rejected(self, graph):
+        engine = ChannelEngine(graph, _idle_program(), num_workers=2)
+        with pytest.raises(ValueError, match="direction"):
+            engine.workers[0].local_adjacency("sideways")
+
+
+def _idle_program():
+    class Idle(VertexProgram):
+        def compute(self, v):
+            v.vote_to_halt()
+
+    return Idle
+
+
+class TestBulkDispatch:
+    def test_compute_bulk_called_once_per_superstep(self):
+        calls = []
+
+        class Recorder(BulkVertexProgram):
+            def compute_bulk(self, active):
+                calls.append((self.worker.worker_id, self.step_num, active.copy()))
+                self.worker.halt_bulk(active)
+
+        engine = ChannelEngine(line_graph(6), Recorder, num_workers=2)
+        engine.run()
+        # one call per worker, all vertices active in superstep 1
+        assert sorted(c[0] for c in calls) == [0, 1]
+        assert all(step == 1 for _, step, _ in calls)
+        assert sum(a.size for _, _, a in calls) == 6
+
+    def test_idle_worker_gets_no_bulk_call(self):
+        calls = []
+
+        class SourceOnly(BulkVertexProgram):
+            def __init__(self, worker):
+                super().__init__(worker)
+                self.msg = CombinedMessage(worker, SUM_I64)
+
+            def compute_bulk(self, active):
+                calls.append((self.worker.worker_id, self.step_num))
+                if self.step_num == 1:
+                    li = self.worker.local_index(0)
+                    if li >= 0:
+                        self.msg.send_messages(
+                            np.array([1]), np.array([7], dtype=np.int64)
+                        )
+                self.worker.halt_bulk(active)
+
+        # vertices 0 and 1 on different workers: in superstep 2 only
+        # vertex 1's worker is active, so only it may be called
+        g = Graph.from_edges(2, [(0, 1)], directed=True)
+        engine = ChannelEngine(
+            g, SourceOnly, num_workers=2, partition=np.array([0, 1])
+        )
+        engine.run()
+        assert calls == [(0, 1), (1, 1), (1, 2)]
+
+    def test_scalar_compute_on_bulk_program_raises(self):
+        class Bulk(BulkVertexProgram):
+            def compute_bulk(self, active):
+                self.worker.halt_bulk(active)
+
+        engine = ChannelEngine(line_graph(4), Bulk, num_workers=1)
+        with pytest.raises(TypeError, match="bulk program"):
+            engine.workers[0].program.compute(None)
+
+
+class TestEngineResultErgonomics:
+    def test_passthrough_properties_match_metrics(self):
+        from repro.algorithms.wcc import run_wcc
+
+        _, result = run_wcc(rmat(7, edge_factor=4, seed=13, directed=True), num_workers=4)
+        m = result.metrics
+        assert result.total_net_bytes == m.total_net_bytes > 0
+        assert result.total_messages == m.total_messages > 0
+        assert result.simulated_time == m.simulated_time > 0.0
+        assert result.supersteps == m.supersteps > 0
+
+    def test_defaults_without_metrics(self):
+        empty = EngineResult()
+        assert empty.total_net_bytes == 0
+        assert empty.total_messages == 0
+        assert empty.simulated_time == 0.0
+        assert empty.supersteps == 0
