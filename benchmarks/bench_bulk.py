@@ -20,7 +20,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.bench.runner import bulk_speedup_rows
+from repro.bench.runner import bulk_speedup_rows, git_describe
 from repro.bench.tables import render_rows
 
 
@@ -33,6 +33,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--workers", type=int, default=8)
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="hash-partition seed, so reruns measure the same distribution",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_bulk.json",
@@ -40,7 +46,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    rows = bulk_speedup_rows(dataset=args.dataset, num_workers=args.workers)
+    rows = bulk_speedup_rows(
+        dataset=args.dataset, num_workers=args.workers, seed=args.seed
+    )
     print(
         render_rows(
             rows,
@@ -51,7 +59,13 @@ def main(argv=None) -> int:
 
     args.out.write_text(
         json.dumps(
-            {"dataset": args.dataset, "num_workers": args.workers, "rows": rows},
+            {
+                "dataset": args.dataset,
+                "workers": args.workers,
+                "seed": args.seed,
+                "git": git_describe(),
+                "rows": rows,
+            },
             indent=2,
         )
         + "\n"

@@ -5,7 +5,9 @@ Examples::
     python -m repro run pagerank --dataset wikipedia --variant scatter
     python -m repro run pagerank --dataset bulk-100k --variant scatter --mode bulk
     python -m repro run sv --dataset twitter --variant both --workers 16
-    python -m repro run wcc --graph my_edges.txt --variant prop --partitioned
+    python -m repro run wcc --graph my_edges.txt --variant prop --partition metis
+    python -m repro run wcc --dataset tree --checkpoint-every 2 --fail 1:3 \\
+        --recovery confined
     python -m repro datasets
     python -m repro tables 6
 """
@@ -20,8 +22,9 @@ import numpy as np
 
 from repro.bench.datasets import DATASETS, EXTRA_DATASETS, load_dataset, table3_rows
 from repro.bench.runner import CELLS
+from repro.core.recovery import FailureSchedule
 from repro.graph.io import load_edgelist
-from repro.graph.partition import metis_like_partition
+from repro.graph.partition import metis_like_partition, range_partition
 
 __all__ = ["main"]
 
@@ -71,9 +74,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--workers", type=int, default=8)
     run.add_argument(
+        "--partition",
+        choices=["hash", "range", "metis"],
+        default="hash",
+        help="vertex partitioner (see repro.graph.partition)",
+    )
+    run.add_argument(
         "--partitioned",
         action="store_true",
-        help="use the METIS-like partitioner instead of hash partitioning",
+        help="deprecated alias for --partition metis",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="take a fault-tolerance checkpoint every K supersteps",
+    )
+    run.add_argument(
+        "--fail",
+        action="append",
+        default=[],
+        metavar="W:S",
+        help="kill worker W at the end of superstep S (repeatable)",
+    )
+    run.add_argument(
+        "--recovery",
+        choices=["rollback", "confined"],
+        default="rollback",
+        help="recovery mode used when --fail triggers",
     )
     run.add_argument("--json", action="store_true", help="machine-readable output")
 
@@ -105,9 +134,32 @@ def _cmd_run(args) -> int:
     runner = CELLS[(algo, program)]
 
     graph = load_dataset(args.dataset) if args.dataset else load_edgelist(args.graph)
+    if args.partitioned and args.partition not in ("hash", "metis"):
+        print(
+            "--partitioned (deprecated) conflicts with --partition; "
+            "drop --partitioned and keep --partition",
+            file=sys.stderr,
+        )
+        return 2
+    partition = "metis" if args.partitioned else args.partition
     kwargs = {"num_workers": args.workers}
-    if args.partitioned:
+    if partition == "metis":
         kwargs["partition"] = metis_like_partition(graph, args.workers, seed=0)
+    elif partition == "range":
+        kwargs["partition"] = range_partition(graph.num_vertices, args.workers)
+    if args.checkpoint_every is not None:
+        if args.checkpoint_every < 1:
+            print("--checkpoint-every must be >= 1", file=sys.stderr)
+            return 2
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    if args.fail:
+        try:
+            schedule = FailureSchedule.from_specs(args.fail, args.workers)
+        except ValueError as exc:
+            print(f"bad --fail schedule: {exc}", file=sys.stderr)
+            return 2
+        kwargs["failures"] = schedule
+        kwargs["recovery"] = args.recovery
 
     out = runner(graph, **kwargs)
     result = out[-1]
@@ -119,6 +171,7 @@ def _cmd_run(args) -> int:
         "vertices": graph.num_vertices,
         "edges": graph.num_input_edges,
         "workers": args.workers,
+        "partition": partition,
         **m.summary(),
     }
     if args.json:

@@ -9,7 +9,9 @@ network bytes.
 
 from __future__ import annotations
 
+import subprocess
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -34,7 +36,38 @@ from repro.pregel_algorithms import (
     run_wcc_pregel,
 )
 
-__all__ = ["run_cell", "CELLS", "BULK_PAIRS", "bulk_speedup_rows"]
+__all__ = ["run_cell", "CELLS", "BULK_PAIRS", "bulk_speedup_rows", "git_describe"]
+
+
+def git_describe() -> str:
+    """Identify the code that produced a benchmark artifact (commit hash,
+    with ``-dirty`` when the tree has local edits); ``"unknown"`` outside
+    a git checkout.  Runs git in this file's directory, not the process
+    CWD — and only trusts the result if the discovered repository really
+    contains this package (an installed copy inside some unrelated repo's
+    tree must not inherit that repo's hash)."""
+    here = Path(__file__).resolve().parent
+
+    def _git(*argv: str):
+        return subprocess.run(
+            ["git", *argv],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=here,
+        )
+
+    try:
+        top = _git("rev-parse", "--show-toplevel")
+        if top.returncode != 0:
+            return "unknown"
+        root = Path(top.stdout.strip()).resolve()
+        if root != here and root not in here.parents:
+            return "unknown"
+        out = _git("describe", "--always", "--dirty")
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 #: (algorithm, program) -> runner(graph, **kw) returning (..., EngineResult)
 CELLS = {
@@ -150,13 +183,22 @@ def run_cell(
 
 
 def bulk_speedup_rows(
-    dataset: str = "bulk-100k", num_workers: int = 8, pairs=None
+    dataset: str = "bulk-100k", num_workers: int = 8, pairs=None, seed: int = 0
 ) -> list[dict]:
     """Run every scalar/bulk program pair on ``dataset`` and report the
     wall-time speedup of the columnar path, plus the traffic equality the
-    parity tests enforce (same supersteps, same messages, same bytes)."""
+    parity tests enforce (same supersteps, same messages, same bytes).
+
+    ``seed`` fixes the hash partition used by every run, so a rerun with
+    the same arguments measures the exact same work distribution.
+    """
+    from repro.graph.partition import hash_partition
+
+    graph = load_dataset(dataset)
+    partition = hash_partition(graph.num_vertices, num_workers, seed=seed)
     rows = []
     for name, scalar_cell, bulk_cell, extra in pairs or BULK_PAIRS:
+        extra = dict(extra, partition=partition)
         scalar = run_cell(*scalar_cell, dataset, num_workers=num_workers, **extra)
         bulk = run_cell(*bulk_cell, dataset, num_workers=num_workers, **extra)
         rows.append(

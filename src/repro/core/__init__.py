@@ -33,6 +33,7 @@ from repro.core.channel import Channel
 from repro.core.program import VertexProgram, BulkVertexProgram
 from repro.core.worker import Worker
 from repro.core.engine import ChannelEngine, EngineResult
+from repro.core.recovery import FailureSchedule, FrameLog
 from repro.core.channels.direct import DirectMessage
 from repro.core.channels.combined import CombinedMessage
 from repro.core.channels.aggregator import Aggregator
@@ -61,6 +62,8 @@ __all__ = [
     "Worker",
     "ChannelEngine",
     "EngineResult",
+    "FailureSchedule",
+    "FrameLog",
     "DirectMessage",
     "CombinedMessage",
     "Aggregator",

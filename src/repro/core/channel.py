@@ -71,6 +71,31 @@ class Channel:
         plain message passing."""
         return False
 
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """This channel's state at a superstep boundary, as a dict of
+        checkpointable values (see :mod:`repro.runtime.checkpoint`).
+
+        Must capture everything a freshly constructed instance needs to
+        continue the run bit-identically: in-flight inbox state readable
+        next superstep, plus any structure registered by the program
+        (static edge sets, expansion tables) that a replacement worker
+        cannot re-derive because registration happened in a past
+        superstep.  Per-round scratch (pending sends, request queues) is
+        always empty at a boundary and need not be captured.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement snapshot(); "
+            "checkpointing requires every channel to support it"
+        )
+
+    def restore(self, state: dict) -> None:
+        """Load the state captured by :meth:`snapshot` into this (possibly
+        freshly constructed) instance."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement restore()"
+        )
+
     # -- helpers for subclasses ---------------------------------------------
     def emit(self, peer: int, payload: bytes) -> None:
         """Send ``payload`` to this channel's instance on worker ``peer``."""

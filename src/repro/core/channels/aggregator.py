@@ -74,6 +74,26 @@ class Aggregator(Channel):
         (the combiner identity when nothing was contributed)."""
         return self._result
 
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "partial": self._partial,
+            "contributed": self._contributed,
+            "result": self._result,
+            "global": self._global,
+        }
+
+    def restore(self, state: dict) -> None:
+        # cast scalars back through the codec dtype so restored values are
+        # bit-for-bit what the running instance held (not widened floats);
+        # structured codecs round-trip as tuples already
+        dtype = self.value_codec.dtype
+        cast = (lambda v: v) if dtype.names else dtype.type
+        self._partial = cast(state["partial"])
+        self._contributed = state["contributed"]
+        self._result = cast(state["result"])
+        self._global = cast(state["global"])
+
     # -- round protocol ----------------------------------------------------
     def serialize(self) -> None:
         me = self.worker.worker_id

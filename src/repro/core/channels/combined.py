@@ -58,6 +58,14 @@ class CombinedMessage(RecordChannel):
     def has_message(self, v: Vertex) -> bool:
         return bool(self._has_msg[v.local])
 
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {"slots": self._slots.copy(), "has_msg": self._has_msg.copy()}
+
+    def restore(self, state: dict) -> None:
+        self._slots[...] = state["slots"]
+        self._has_msg[...] = state["has_msg"]
+
     # -- round protocol (serialize inherited from RecordChannel) ------------
     def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
         self.round += 1

@@ -58,6 +58,17 @@ class DirectMessage(RecordChannel):
     def has_messages(self, v: Vertex) -> bool:
         return bool(self._recv_indptr[v.local + 1] > self._recv_indptr[v.local])
 
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "recv_indptr": self._recv_indptr.copy(),
+            "recv_vals": self._recv_vals.copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._recv_indptr = state["recv_indptr"].copy()
+        self._recv_vals = state["recv_vals"].copy()
+
     # -- round protocol (serialize inherited from RecordChannel) ------------
     def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
         self.round += 1

@@ -107,13 +107,17 @@ class MirroredScatter(Channel):
         self._edge_dst_chunks.append(dsts)
         self._built = False
 
-    def _build(self) -> None:
+    def _collected_edges(self) -> tuple[np.ndarray, np.ndarray]:
         src = np.concatenate(
             [np.asarray(self._edge_src, dtype=np.int64)] + self._edge_src_chunks
         )
         dst = np.concatenate(
             [np.asarray(self._edge_dst, dtype=np.int64)] + self._edge_dst_chunks
         )
+        return src, dst
+
+    def _build(self) -> None:
+        src, dst = self._collected_edges()
         owner = self.worker.owner[dst] if dst.size else dst.copy()
         m = self.num_workers
         self._plain_src = []
@@ -186,6 +190,34 @@ class MirroredScatter(Channel):
 
     def has_message(self, v: Vertex) -> bool:
         return bool(self._has_msg[v.local])
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        src, dst = self._collected_edges()
+        return {
+            "edge_src": src,
+            "edge_dst": dst,
+            "values": self._values.copy(),
+            "dirty": self._dirty,
+            "slots": self._slots.copy(),
+            "has_msg": self._has_msg.copy(),
+            # receive-side expansion tables cannot be re-derived: their
+            # setup frames are only ever shipped once (first superstep)
+            "expansion": {int(k): v.copy() for k, v in self._expansion.items()},
+            "setup_sent": self._setup_sent,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._edge_src, self._edge_dst = [], []
+        self._edge_src_chunks = [state["edge_src"].copy()]
+        self._edge_dst_chunks = [state["edge_dst"].copy()]
+        self._built = False
+        self._values[...] = state["values"]
+        self._dirty = state["dirty"]
+        self._slots[...] = state["slots"]
+        self._has_msg[...] = state["has_msg"]
+        self._expansion = {int(k): v for k, v in state["expansion"].items()}
+        self._setup_sent = state["setup_sent"]
 
     # -- round protocol -----------------------------------------------------
     def serialize(self) -> None:

@@ -134,6 +134,30 @@ class Propagation(Channel):
         self._pending_np = []
         self._deferred = []
 
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "edge_src": np.asarray(self._src, dtype=np.int64),
+            "edge_dst": np.asarray(self._dst, dtype=np.int64),
+            "edge_w": np.asarray(self._w, dtype=np.float64),
+            "values": self._values.copy(),
+            "dirty": list(self._dirty),
+            "pending": [(d.copy(), v.copy()) for d, v in self._pending_np],
+            "deferred": [f.copy() for f in self._deferred],
+        }
+
+    def restore(self, state: dict) -> None:
+        # the local CSR is rebuilt lazily by _build(), deterministic
+        # given the same flat edge arrays
+        self._src = state["edge_src"].tolist()
+        self._dst = state["edge_dst"].tolist()
+        self._w = state["edge_w"].tolist()
+        self._built = False
+        self._values[...] = state["values"]
+        self._dirty = list(state["dirty"])
+        self._pending_np = [(d, v) for d, v in state["pending"]]
+        self._deferred = list(state["deferred"])
+
     # -- structure -----------------------------------------------------------
     def _build(self) -> None:
         n = self.worker.num_local

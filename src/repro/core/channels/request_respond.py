@@ -95,6 +95,29 @@ class RequestRespond(Channel):
     def has_respond(self, dst: int) -> bool:
         return dst in self._resp_map
 
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "resp_keys": self._resp_keys.copy(),
+            "resp_vals": self._resp_vals.copy(),
+            "asked": [a.copy() for a in self._asked],
+        }
+
+    def restore(self, state: dict) -> None:
+        keys = state["resp_keys"].copy()
+        vals = state["resp_vals"].copy()
+        self._resp_keys = keys
+        self._resp_vals = vals
+        # same construction as _deserialize_responses, so lookups behave
+        # identically (struct-codec values come back as tuples either way)
+        self._resp_map = dict(zip(keys.tolist(), vals.tolist()))
+        self._asked = [a.copy() for a in state["asked"]]
+        self._requests = []
+        self._requesters = []
+        self._responses_out = [None] * self.num_workers
+        self._echo_ids_out = [None] * self.num_workers
+        self._have_responses = False
+
     # -- round protocol ----------------------------------------------------
     def serialize(self) -> None:
         if self.round == 0:

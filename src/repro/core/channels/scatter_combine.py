@@ -96,14 +96,20 @@ class ScatterCombine(Channel):
         self._edge_dst_chunks.append(dsts)
         self._built = False
 
-    def _build(self) -> None:
-        """Pre-sort edges by destination (the one-time cost of Fig. 5)."""
+    def _collected_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """All registered edges so far, scalar appends first then bulk
+        chunks, as two flat int64 arrays."""
         src = np.concatenate(
             [np.asarray(self._edge_src, dtype=np.int64)] + self._edge_src_chunks
         )
         dst = np.concatenate(
             [np.asarray(self._edge_dst, dtype=np.int64)] + self._edge_dst_chunks
         )
+        return src, dst
+
+    def _build(self) -> None:
+        """Pre-sort edges by destination (the one-time cost of Fig. 5)."""
+        src, dst = self._collected_edges()
         order = np.argsort(dst, kind="stable")
         dst_sorted = dst[order]
         self._seg_edge_src = src[order]
@@ -152,6 +158,32 @@ class ScatterCombine(Channel):
 
     def has_message(self, v: Vertex) -> bool:
         return bool(self._has_msg[v.local])
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        src, dst = self._collected_edges()
+        return {
+            "edge_src": src,
+            "edge_dst": dst,
+            "values": self._values.copy(),
+            "sent_mask": self._sent_mask.copy(),
+            "dirty": self._dirty,
+            "slots": self._slots.copy(),
+            "has_msg": self._has_msg.copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        # the static dispatch structure is rebuilt lazily by _build(),
+        # which is deterministic given the same flat edge arrays
+        self._edge_src, self._edge_dst = [], []
+        self._edge_src_chunks = [state["edge_src"].copy()]
+        self._edge_dst_chunks = [state["edge_dst"].copy()]
+        self._built = False
+        self._values[...] = state["values"]
+        self._sent_mask[...] = state["sent_mask"]
+        self._dirty = state["dirty"]
+        self._slots[...] = state["slots"]
+        self._has_msg[...] = state["has_msg"]
 
     # -- round protocol -----------------------------------------------------
     def serialize(self) -> None:

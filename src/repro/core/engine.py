@@ -13,19 +13,30 @@ network time are accumulated into the run's
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro.core.recovery import (
+    FailureSchedule,
+    FrameLog,
+    confined_recovery,
+    rollback_recovery,
+)
 from repro.core.worker import Worker
 from repro.graph.graph import Graph
 from repro.graph.partition import hash_partition
 from repro.runtime.buffers import BufferExchange
+from repro.runtime.checkpoint import capture_snapshot
 from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
 from repro.runtime.metrics import MetricsCollector
 
 __all__ = ["ChannelEngine", "EngineResult"]
+
+#: recognised ``recovery`` modes (see :mod:`repro.core.recovery`)
+RECOVERY_MODES = ("rollback", "confined")
 
 
 @dataclass
@@ -77,6 +88,19 @@ class ChannelEngine:
         Pregel default ("vertices are randomly assigned to workers").
     network:
         Cost model for the simulated interconnect.
+    checkpoint_every:
+        Take a checkpoint every ``k`` supersteps (plus one before the
+        first superstep).  ``None`` disables periodic checkpoints; an
+        initial checkpoint is still taken whenever ``failures`` is set.
+    failures:
+        A :class:`~repro.core.recovery.FailureSchedule` (or anything its
+        constructor accepts, e.g. ``[(3, 7)]`` or ``["3:7"]``): worker 3
+        dies at the end of superstep 7.
+    recovery:
+        ``"rollback"`` (all workers reload the latest checkpoint and
+        re-execute) or ``"confined"`` (only the failed worker reloads;
+        survivors' logged frames feed its replay).  Defaults can be
+        overridden per :meth:`run` call.
     """
 
     def __init__(
@@ -86,11 +110,20 @@ class ChannelEngine:
         num_workers: int = 8,
         partition: np.ndarray | None = None,
         network: NetworkModel = DEFAULT_NETWORK,
+        checkpoint_every: int | None = None,
+        failures=None,
+        recovery: str = "rollback",
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
         self.graph = graph
         self.num_workers = num_workers
+        self.program_factory = program_factory
+        self.checkpoint_every = checkpoint_every
+        self.failures = FailureSchedule.coerce(failures)
+        self.recovery = recovery
+        self.checkpoint = None  # latest Snapshot, when fault tolerance is on
+        self.frame_log: FrameLog | None = None
         if partition is None:
             partition = hash_partition(graph.num_vertices, num_workers)
         partition = np.asarray(partition, dtype=np.int64)
@@ -118,13 +151,49 @@ class ChannelEngine:
         self._exchange = BufferExchange(self.metrics)
 
     # -- main loop ---------------------------------------------------------
-    def run(self, max_supersteps: int = 100_000) -> EngineResult:
+    def run(
+        self,
+        max_supersteps: int = 100_000,
+        checkpoint_every: int | None = None,
+        failures=None,
+        recovery: str | None = None,
+    ) -> EngineResult:
+        """Run to termination; the fault-tolerance arguments override the
+        constructor's defaults for this run (see the class docstring)."""
+        if checkpoint_every is None:
+            checkpoint_every = self.checkpoint_every
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        failures = (
+            FailureSchedule.coerce(failures) if failures is not None else self.failures
+        )
+        if failures is not None:
+            # pop() consumes events; work on a per-run copy so the same
+            # schedule can drive several runs (e.g. rollback vs confined)
+            failures = failures.copy()
+        recovery = recovery if recovery is not None else self.recovery
+        if recovery not in RECOVERY_MODES:
+            raise ValueError(f"recovery must be one of {RECOVERY_MODES}, got {recovery!r}")
+        if failures is not None:
+            failures.validate(self.num_workers)
+        fault_tolerant = checkpoint_every is not None or bool(failures)
+        self.frame_log = (
+            FrameLog(self.num_workers)
+            if bool(failures) and recovery == "confined"
+            else None
+        )
+
         metrics = self.metrics
         metrics.start_run()
 
         for worker in self.workers:
             for channel in worker.channels:
                 channel.initialize()
+
+        if fault_tolerant:
+            # superstep-0 checkpoint: recovery is possible before the
+            # first periodic checkpoint is due
+            self._take_checkpoint()
 
         while True:
             # phase controllers may wake vertices for the upcoming superstep
@@ -154,6 +223,29 @@ class ChannelEngine:
             self._exchange_phase()
             metrics.end_superstep()
 
+            # 3. superstep boundary: checkpoint, then inject failures
+            if fault_tolerant:
+                if checkpoint_every is not None and self.step_num % checkpoint_every == 0:
+                    self._take_checkpoint()
+                doomed = failures.pop(self.step_num) if failures else []
+                if doomed:
+                    metrics.record_failure(len(doomed))
+                    if recovery == "confined":
+                        confined_recovery(self, doomed)
+                    else:
+                        rollback_recovery(self, doomed)
+
+        if failures and failures.pending():
+            # warn, don't raise: the results are still valid (nothing was
+            # injected), but anyone measuring recovery must find out that
+            # they actually measured a failure-free run
+            warnings.warn(
+                f"failure schedule events never fired — the run ended after "
+                f"{self.step_num} supersteps: {failures.pending()}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
         metrics.end_run()
 
         result = EngineResult(metrics=metrics)
@@ -168,6 +260,9 @@ class ChannelEngine:
                 channel.reset_round()
 
         group_active = [True] * self.num_channels
+        step_log: list[tuple[list[bool], list[list[bytes]]]] | None = (
+            [] if self.frame_log is not None else None
+        )
 
         while any(group_active):
             # serialize
@@ -183,6 +278,23 @@ class ChannelEngine:
 
             if not wrote and not any(group_active):  # pragma: no cover
                 break
+
+            if step_log is not None:
+                # sender-side frame log for confined recovery: every
+                # cross-worker buffer of this round, captured pre-exchange
+                frames = [
+                    [
+                        b""
+                        if peer == worker.worker_id
+                        else worker.buffers.out[peer].getvalue()
+                        for peer in range(self.num_workers)
+                    ]
+                    for worker in self.workers
+                ]
+                step_log.append((list(group_active), frames))
+                metrics.record_log_bytes(
+                    sum(len(buf) for row in frames for buf in row)
+                )
 
             # pairwise exchange (accounted by the cost model)
             self._exchange.exchange([w.buffers for w in self.workers])
@@ -203,3 +315,34 @@ class ChannelEngine:
                         )
                 metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
             group_active = next_active
+
+        if step_log is not None:
+            self.frame_log.append_step(self.step_num, step_log)
+
+    # -- fault tolerance -----------------------------------------------------
+    def _take_checkpoint(self) -> None:
+        snapshot = capture_snapshot(self)
+        self.checkpoint = snapshot
+        self.metrics.record_checkpoint(snapshot.worker_nbytes)
+        if self.frame_log is not None:
+            # frames covered by this checkpoint can never be replayed
+            self.frame_log.truncate_before(snapshot.superstep)
+
+    def rebuild_worker(self, w: int) -> None:
+        """Replace worker ``w`` with a fresh instance (simulating a
+        replacement node): new Worker, new program, channels rebuilt by
+        the program's constructor.  The caller loads checkpointed state
+        into it afterwards (:func:`repro.runtime.checkpoint.restore_worker`)."""
+        local_ids = np.flatnonzero(self.owner == w)
+        worker = Worker(self, w, local_ids)
+        worker.program = self.program_factory(worker)
+        if len(worker.channels) != self.num_channels:
+            raise RuntimeError(
+                "rebuilt worker constructed a different channel set"
+            )  # pragma: no cover - factory determinism guard
+        # the documented lifecycle promises initialize() before any
+        # serialize/deserialize; the replacement's channels get it too
+        # (restore_worker then overwrites whatever state it set up)
+        for channel in worker.channels:
+            channel.initialize()
+        self.workers[w] = worker

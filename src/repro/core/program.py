@@ -25,13 +25,26 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-if TYPE_CHECKING:  # pragma: no cover
-    import numpy as np
+import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover
     from repro.core.vertex import Vertex
     from repro.core.worker import Worker
 
+#: state value types the generic ``state_dict`` captures besides arrays
+_SCALAR_STATE = (bool, int, float, str, bytes, np.bool_, np.integer, np.floating)
+
 __all__ = ["VertexProgram", "BulkVertexProgram"]
+
+
+def _capturable(value) -> bool:
+    if value is None or isinstance(value, (np.ndarray,) + _SCALAR_STATE):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_capturable(v) for v in value)
+    if isinstance(value, dict):
+        return all(_capturable(k) and _capturable(v) for k, v in value.items())
+    return False
 
 
 class VertexProgram:
@@ -68,6 +81,56 @@ class VertexProgram:
         (merged across workers into :class:`EngineResult.data`).  Keys are
         global vertex ids or named aggregates."""
         return {}
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """This worker's per-program state, for checkpointing.
+
+        The default captures every instance attribute that is a NumPy
+        array, a scalar (including str/bytes), ``None``, or a
+        list/tuple/dict of those — which covers all in-tree programs,
+        scalar and bulk alike, since per-vertex state lives in
+        program-owned arrays.  Channels checkpoint themselves (the engine
+        calls each channel's ``snapshot()`` separately) and the worker
+        handle is re-bound on restore, so both are skipped here.
+
+        Raises ``TypeError`` on any other attribute type rather than
+        silently dropping state — programs holding exotic state must
+        override this (and :meth:`load_state_dict`).
+        """
+        from repro.core.channel import Channel
+
+        state = {}
+        for name, value in vars(self).items():
+            if name == "worker" or isinstance(value, Channel):
+                continue
+            if not _capturable(value):
+                raise TypeError(
+                    f"{type(self).__name__}.{name} ({type(value).__name__}) "
+                    "is not checkpointable by the generic state_dict(); "
+                    "override state_dict()/load_state_dict()"
+                )
+            state[name] = value.copy() if isinstance(value, np.ndarray) else value
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the attributes captured by :meth:`state_dict`.
+
+        Same-shape arrays are copied **in place** so anything that
+        aliased the old array (a channel ``respond_fn_bulk`` closure, a
+        cached view) keeps seeing the restored state.
+        """
+        for name, value in state.items():
+            current = getattr(self, name, None)
+            if (
+                isinstance(current, np.ndarray)
+                and isinstance(value, np.ndarray)
+                and current.shape == value.shape
+                and current.dtype == value.dtype
+            ):
+                current[...] = value
+            else:
+                setattr(self, name, value.copy() if isinstance(value, np.ndarray) else value)
 
     # -- context helpers (mirror the paper's Worker API) --------------------
     @property

@@ -99,6 +99,16 @@ class Worker:
     def activate_local_bulk(self, local_idx: np.ndarray) -> None:
         self.woken[local_idx] = True
 
+    # -- checkpointing ---------------------------------------------------------
+    def snapshot_flags(self) -> dict:
+        """Halt/wake state at a superstep boundary (wake flags are set by
+        the exchange phase for the *next* superstep, so both matter)."""
+        return {"halted": self.halted.copy(), "woken": self.woken.copy()}
+
+    def restore_flags(self, state: dict) -> None:
+        self.halted[...] = state["halted"]
+        self.woken[...] = state["woken"]
+
     def begin_superstep(self) -> np.ndarray:
         """Resolve the active set for this superstep and reset wake flags."""
         self.halted &= ~self.woken

@@ -22,6 +22,12 @@ from repro.runtime.serialization import (
     BufferReader,
 )
 from repro.runtime.buffers import WorkerBuffers, BufferExchange
+from repro.runtime.checkpoint import (
+    SNAPSHOT_VERSION,
+    Snapshot,
+    decode_state,
+    encode_state,
+)
 from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
 from repro.runtime.metrics import MetricsCollector, SuperstepRecord
 
@@ -38,6 +44,10 @@ __all__ = [
     "BufferReader",
     "WorkerBuffers",
     "BufferExchange",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "encode_state",
+    "decode_state",
     "NetworkModel",
     "DEFAULT_NETWORK",
     "MetricsCollector",

@@ -17,7 +17,7 @@ Two notions of time are tracked:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -58,6 +58,20 @@ class MetricsCollector:
     wall_time: float = 0.0
     _current: SuperstepRecord | None = field(default=None, repr=False)
     _compute_per_worker: np.ndarray | None = field(default=None, repr=False)
+
+    # -- fault-tolerance accounting (never rolled back: real costs paid) ----
+    #: serialized checkpoint bytes written across all checkpoints
+    checkpoint_bytes: int = 0
+    #: modeled checkpoint write time (parallel: max worker blob / bandwidth)
+    checkpoint_time: float = 0.0
+    num_checkpoints: int = 0
+    #: cross-worker frame bytes logged for confined recovery
+    log_bytes: int = 0
+    #: checkpoint bytes reloaded plus logged frames replayed during recovery
+    recovery_bytes: int = 0
+    #: modeled recovery time (state reload + replay/re-execution)
+    recovery_time: float = 0.0
+    num_failures: int = 0
 
     # -- run lifecycle ----------------------------------------------------
     def start_run(self) -> None:
@@ -113,6 +127,44 @@ class MetricsCollector:
             for label, v in sorted(self.channel_traffic.items())
         }
 
+    # -- fault tolerance -----------------------------------------------------
+    def record_checkpoint(self, per_worker_nbytes: list[int]) -> None:
+        """Account one checkpoint: workers write their blobs in parallel,
+        so the modeled write time is the largest blob over the bandwidth
+        (plus one barrier latency), exactly like an exchange round."""
+        self.num_checkpoints += 1
+        self.checkpoint_bytes += int(sum(per_worker_nbytes))
+        largest = max(per_worker_nbytes) if per_worker_nbytes else 0
+        self.checkpoint_time += self.network.latency + largest / self.network.bandwidth
+
+    def record_log_bytes(self, nbytes: int) -> None:
+        self.log_bytes += int(nbytes)
+
+    def record_failure(self, num_workers_lost: int) -> None:
+        self.num_failures += int(num_workers_lost)
+
+    def record_recovery(self, nbytes: int, seconds: float) -> None:
+        self.recovery_bytes += int(nbytes)
+        self.recovery_time += seconds
+
+    def snapshot(self) -> dict:
+        """Copy of the rollback-able bookkeeping (per-superstep records and
+        the per-channel traffic).  Fault-tolerance counters are excluded on
+        purpose: checkpoint/recovery costs already paid stay paid."""
+        return {
+            "records": [replace(r) for r in self.records],
+            "channel_traffic": {k: list(v) for k, v in self.channel_traffic.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Roll the per-superstep bookkeeping back to a :meth:`snapshot`;
+        re-executed supersteps then re-append, so a recovered run's totals
+        match a failure-free run's exactly."""
+        self.records = [replace(r) for r in state["records"]]
+        self.channel_traffic = {k: list(v) for k, v in state["channel_traffic"].items()}
+        self._current = None
+        self._compute_per_worker = None
+
     def end_superstep(self) -> None:
         cur = self._current
         assert cur is not None and self._compute_per_worker is not None
@@ -148,8 +200,13 @@ class MetricsCollector:
         return sum(r.simulated_time for r in self.records)
 
     def summary(self) -> dict:
-        """Flat dict used by the bench harness to print table rows."""
-        return {
+        """Flat dict used by the bench harness to print table rows.
+
+        Fault-tolerance counters appear only when checkpointing or
+        failure injection was actually used, keeping plain runs' rows
+        unchanged.
+        """
+        out = {
             "supersteps": self.supersteps,
             "rounds": self.total_rounds,
             "net_bytes": self.total_net_bytes,
@@ -158,3 +215,14 @@ class MetricsCollector:
             "simulated_time": self.simulated_time,
             "wall_time": self.wall_time,
         }
+        if self.num_checkpoints or self.num_failures:
+            out.update(
+                checkpoints=self.num_checkpoints,
+                checkpoint_bytes=self.checkpoint_bytes,
+                checkpoint_time=self.checkpoint_time,
+                log_bytes=self.log_bytes,
+                failures=self.num_failures,
+                recovery_bytes=self.recovery_bytes,
+                recovery_time=self.recovery_time,
+            )
+        return out

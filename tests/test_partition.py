@@ -114,3 +114,44 @@ def test_metis_like_owns_every_vertex_exactly_once(scale, m):
     # every vertex assigned to exactly one legal block
     assert p.shape == (g.num_vertices,)
     assert np.all((p >= 0) & (p < m))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    m=st.integers(min_value=1, max_value=8),
+    edges=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=119),
+            st.integers(min_value=0, max_value=119),
+        ),
+        max_size=200,
+    ),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_metis_like_total_assignment_and_capacity(n, m, edges, seed):
+    """On arbitrary graphs — disconnected, self-loopy, or with no edges
+    at all — every vertex gets a legal owner (no ``-1`` survives the BFS
+    growth) and no block exceeds the capacity bound ``ceil(n/m)``."""
+    from repro.graph.graph import Graph
+
+    edges = [(u % n, v % n) for u, v in edges if u % n != v % n]
+    g = Graph.from_edges(n, edges, directed=False)
+    p = metis_like_partition(g, m, seed=seed)
+    assert p.shape == (n,)
+    assert np.all((p >= 0) & (p < m)), "every vertex must be assigned"
+    capacity = -(-n // m)
+    sizes = np.bincount(p, minlength=m)
+    assert sizes.max() <= capacity, f"block over capacity: {sizes} > {capacity}"
+
+
+@settings(max_examples=10, deadline=None)
+@given(m=st.integers(min_value=1, max_value=8), n=st.integers(min_value=1, max_value=60))
+def test_metis_like_zero_edge_graph(n, m):
+    """A graph with no edges degenerates to pure balanced reseeding."""
+    from repro.graph.graph import Graph
+
+    g = Graph.from_edges(n, [], directed=False)
+    p = metis_like_partition(g, m, seed=1)
+    assert np.all((p >= 0) & (p < m))
+    assert np.bincount(p, minlength=m).max() <= -(-n // m)
