@@ -1,0 +1,24 @@
+"""Shared benchmark-artifact writer.
+
+Every ``BENCH_*.json`` records the same provenance next to its rows —
+the producing commit (``git_describe``) and the run's parameters — so a
+number in the repo can always be traced to the code and configuration
+that made it.  This helper keeps the three bench scripts from each
+growing their own copy of that envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.runner import git_describe
+
+__all__ = ["write_artifact"]
+
+
+def write_artifact(path: Path, rows: list[dict], **meta) -> None:
+    """Write ``{**meta, git, rows}`` as indented JSON and announce it."""
+    payload = {**meta, "git": git_describe(), "rows": rows}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")

@@ -16,11 +16,11 @@ silently doing less work.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-from repro.bench.runner import bulk_speedup_rows, git_describe
+from _provenance import write_artifact
+from repro.bench.runner import bulk_speedup_rows
 from repro.bench.tables import render_rows
 
 
@@ -57,20 +57,9 @@ def main(argv=None) -> int:
         )
     )
 
-    args.out.write_text(
-        json.dumps(
-            {
-                "dataset": args.dataset,
-                "workers": args.workers,
-                "seed": args.seed,
-                "git": git_describe(),
-                "rows": rows,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_artifact(
+        args.out, rows, dataset=args.dataset, workers=args.workers, seed=args.seed
     )
-    print(f"wrote {args.out}")
 
     broken = [r["algorithm"] for r in rows if not r["traffic_identical"]]
     if broken:

@@ -23,18 +23,17 @@ Run it directly::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from _provenance import write_artifact
 from repro.algorithms.bfs import run_bfs
 from repro.algorithms.pagerank import run_pagerank
 from repro.algorithms.sssp import run_sssp
 from repro.algorithms.wcc import run_wcc
 from repro.bench.datasets import load_dataset
-from repro.bench.runner import git_describe
 from repro.bench.tables import render_rows
 from repro.core.recovery import FailureSchedule
 
@@ -193,20 +192,13 @@ def main(argv=None) -> int:
         )
     )
 
-    args.out.write_text(
-        json.dumps(
-            {
-                "dataset": args.dataset,
-                "workers": args.workers,
-                "checkpoint_every": args.checkpoint_every,
-                "git": git_describe(),
-                "rows": rows,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_artifact(
+        args.out,
+        rows,
+        dataset=args.dataset,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
     )
-    print(f"wrote {args.out}")
 
     broken = [f"{r['workload']}/{r['mode']}@{r['fail_at']}" for r in rows if not r["identical"]]
     if broken:

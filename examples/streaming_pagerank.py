@@ -1,0 +1,64 @@
+"""Streaming PageRank walkthrough: apply update batches, refresh
+incrementally, and verify against a cold run.
+
+Run::
+
+    PYTHONPATH=src python examples/streaming_pagerank.py
+
+The script builds a road-like graph, bootstraps an epoch engine, then
+feeds it three mutation batches.  After every epoch it re-runs plain
+``run_pagerank`` from scratch on the mutated graph and asserts the
+refreshed ranks are bit-identical — while printing how much less the
+incremental refresh communicated.
+"""
+
+import numpy as np
+
+from repro.algorithms.pagerank import run_pagerank
+from repro.graph.generators import grid_road
+from repro.streaming import EpochEngine, PageRankStream, synthesize_stream
+
+ITERATIONS = 10
+
+graph = grid_road(60, 60, seed=1)
+print(f"initial graph: {graph}")
+
+engine = EpochEngine(
+    graph,
+    PageRankStream(iterations=ITERATIONS),
+    num_workers=8,
+    refresh="incremental",
+)
+boot = engine.bootstrap()
+print(
+    f"bootstrap: {boot.result.supersteps} supersteps, "
+    f"{boot.result.total_net_bytes / 1e6:.2f} MB on the wire"
+)
+
+# three epochs of churn: ~40 edge mutations each
+for batch in synthesize_stream(graph, 3, 20, 20, seed=7):
+    epoch = engine.run_epoch(batch)
+
+    # the cold baseline: full PageRank on the mutated graph
+    cold_ranks, cold = run_pagerank(
+        engine.graph,
+        variant="basic",
+        iterations=ITERATIONS,
+        mode="bulk",
+        num_workers=8,
+        partition=engine.owner,
+    )
+    ids = np.arange(engine.graph.num_vertices)
+    refreshed = np.array([epoch.data[v] for v in ids])
+    assert np.array_equal(refreshed, cold_ranks), "refresh must be bit-identical"
+
+    print(
+        f"epoch {epoch.epoch}: batch={epoch.batch_size} mutations, "
+        f"affected {epoch.affected}/{graph.num_vertices} vertices, "
+        f"bytes {epoch.result.total_net_bytes / 1e6:.2f} MB vs "
+        f"cold {cold.total_net_bytes / 1e6:.2f} MB "
+        f"({epoch.result.total_net_bytes / cold.total_net_bytes:.1%}), "
+        f"bit-identical: True"
+    )
+
+print("done: every refresh matched the cold run exactly")

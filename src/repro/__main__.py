@@ -8,6 +8,8 @@ Examples::
     python -m repro run wcc --graph my_edges.txt --variant prop --partition metis
     python -m repro run wcc --dataset tree --checkpoint-every 2 --fail 1:3 \\
         --recovery confined
+    python -m repro stream pagerank --dataset stream-road --updates u.txt \\
+        --epoch-size 200 --refresh incremental
     python -m repro datasets
     python -m repro tables 6
 """
@@ -106,6 +108,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--json", action="store_true", help="machine-readable output")
 
+    stream = sub.add_parser(
+        "stream",
+        help="apply an update stream epoch by epoch, refreshing results",
+    )
+    stream.add_argument("algorithm", choices=["pagerank", "wcc", "sssp"])
+    ssrc = stream.add_mutually_exclusive_group(required=True)
+    ssrc.add_argument(
+        "--dataset",
+        choices=sorted(DATASETS) + sorted(EXTRA_DATASETS),
+        help="built-in starting graph",
+    )
+    ssrc.add_argument("--graph", help="edge-list file for the starting graph")
+    stream.add_argument(
+        "--updates",
+        required=True,
+        help="update-stream file (ts op src dst [weight]; .gz ok)",
+    )
+    stream.add_argument(
+        "--epoch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-chunk the stream into batches of N mutations "
+        "(default: group by timestamp)",
+    )
+    stream.add_argument(
+        "--refresh",
+        choices=["incremental", "full"],
+        default="incremental",
+        help="per-epoch refresh policy",
+    )
+    stream.add_argument("--workers", type=int, default=8)
+    stream.add_argument(
+        "--iterations", type=int, default=10, help="PageRank iterations"
+    )
+    stream.add_argument("--source", type=int, default=0, help="SSSP source")
+    stream.add_argument(
+        "--compact-threshold",
+        type=float,
+        default=0.25,
+        help="overlay/base ratio that triggers delta-graph compaction",
+    )
+    stream.add_argument("--json", action="store_true", help="one JSON row per epoch")
+
     sub.add_parser("datasets", help="print the Table III dataset inventory")
 
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -184,6 +230,57 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.graph.io import load_update_stream
+    from repro.streaming import STREAM_ALGORITHMS, EpochEngine
+
+    if args.epoch_size is not None and args.epoch_size < 1:
+        print("--epoch-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.compact_threshold <= 0:
+        print("--compact-threshold must be positive", file=sys.stderr)
+        return 2
+    graph = load_dataset(args.dataset) if args.dataset else load_edgelist(args.graph)
+    try:
+        batches = load_update_stream(args.updates, epoch_size=args.epoch_size)
+    except (OSError, ValueError) as exc:
+        print(f"bad --updates stream: {exc}", file=sys.stderr)
+        return 2
+    if not batches:
+        print("update stream is empty", file=sys.stderr)
+        return 2
+
+    params = {}
+    if args.algorithm == "pagerank":
+        params["iterations"] = args.iterations
+    elif args.algorithm == "sssp":
+        params["source"] = args.source
+    algo = STREAM_ALGORITHMS[args.algorithm](**params)
+    engine = EpochEngine(
+        graph,
+        algo,
+        num_workers=args.workers,
+        refresh=args.refresh,
+        compact_threshold=args.compact_threshold,
+    )
+    engine.bootstrap()
+    try:
+        epochs = engine.run(batches)
+    except ValueError as exc:
+        print(f"stream application failed: {exc}", file=sys.stderr)
+        return 1
+
+    rows = [engine.history[0].summary()] + [e.summary() for e in epochs]
+    if args.json:
+        for row in rows:
+            print(json.dumps(row))
+    else:
+        for row in rows:
+            print(" ".join(f"{k}={round(v, 6) if isinstance(v, float) else v}"
+                           for k, v in row.items()))
+    return 0
+
+
 def _cmd_datasets() -> int:
     rows = table3_rows()
     cols = list(rows[0])
@@ -197,6 +294,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "tables":

@@ -54,10 +54,21 @@ DATASETS: dict[str, tuple[Callable[[], Graph], str]] = {
 
 #: workloads that are not Table III rows (kept out of ``DATASETS`` so the
 #: table inventory stays the paper's): the scalar-vs-bulk speedup
-#: benchmark's 100k-vertex graph (BENCH_bulk.json)
+#: benchmark's 100k-vertex graph (BENCH_bulk.json) and the streaming
+#: benchmark's graphs (BENCH_streaming.json) — a 10k-vertex weighted road
+#: grid whose slow frontier growth favors locality, plus a power-law
+#: contrast where the dirty region explodes
 EXTRA_DATASETS: dict[str, tuple[Callable[[], Graph], str]] = {
     "bulk-100k": (
         lambda: erdos_renyi(100_000, 8.0, seed=108, directed=True),
+        "directed",
+    ),
+    "stream-road": (
+        lambda: grid_road(100, 100, seed=109),
+        "undirected & weighted",
+    ),
+    "stream-er": (
+        lambda: erdos_renyi(20_000, 8.0, seed=110, directed=True),
         "directed",
     ),
 }

@@ -101,6 +101,11 @@ class ChannelEngine:
         re-execute) or ``"confined"`` (only the failed worker reloads;
         survivors' logged frames feed its replay).  Defaults can be
         overridden per :meth:`run` call.
+    initial_active:
+        Global vertex ids active in superstep 1 (``None`` = all vertices,
+        the Pregel default).  The streaming layer seeds refresh runs from
+        the delta-affected region this way; programs may wake more
+        vertices via ``before_superstep`` / message arrival as usual.
     """
 
     def __init__(
@@ -113,6 +118,7 @@ class ChannelEngine:
         checkpoint_every: int | None = None,
         failures=None,
         recovery: str = "rollback",
+        initial_active: np.ndarray | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -141,6 +147,15 @@ class ChannelEngine:
             self.workers.append(Worker(self, w, local_ids))
         for worker in self.workers:
             worker.program = program_factory(worker)
+
+        if initial_active is not None:
+            seeds = np.asarray(initial_active, dtype=np.int64)
+            if seeds.size and (
+                seeds.min() < 0 or seeds.max() >= graph.num_vertices
+            ):
+                raise ValueError("initial_active contains out-of-range vertex ids")
+            for worker in self.workers:
+                worker.seed_active(seeds)
 
         nchan = {len(w.channels) for w in self.workers}
         if len(nchan) != 1:

@@ -99,6 +99,14 @@ class Worker:
     def activate_local_bulk(self, local_idx: np.ndarray) -> None:
         self.woken[local_idx] = True
 
+    def seed_active(self, seeds: np.ndarray) -> None:
+        """Restrict the first superstep's active set to the owned subset
+        of ``seeds`` (global ids).  Called by the engine before the run
+        starts; everything else begins halted."""
+        self.halted[:] = True
+        local = self._local_index[seeds]
+        self.halted[local[local >= 0]] = False
+
     # -- checkpointing ---------------------------------------------------------
     def snapshot_flags(self) -> dict:
         """Halt/wake state at a superstep boundary (wake flags are set by

@@ -1,14 +1,34 @@
-"""Graph input/output: edge-list text and compact NPZ binary formats."""
+"""Graph input/output: edge-list text, update streams, and NPZ binary.
+
+All text formats are transparently gzip-compressed when the path ends in
+``.gz`` — both on read and write — since public edge-list/stream dumps
+(SNAP, KONECT) usually ship compressed.
+"""
 
 from __future__ import annotations
 
+import gzip
 import os
 
 import numpy as np
 
 from repro.graph.graph import Graph
 
-__all__ = ["save_edgelist", "load_edgelist", "save_npz", "load_npz"]
+__all__ = [
+    "save_edgelist",
+    "load_edgelist",
+    "save_update_stream",
+    "load_update_stream",
+    "save_npz",
+    "load_npz",
+]
+
+
+def _open_text(path: str | os.PathLike, mode: str):
+    """Open a text file, through gzip when the suffix says so."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
 
 
 def save_edgelist(graph: Graph, path: str | os.PathLike) -> None:
@@ -24,7 +44,7 @@ def save_edgelist(graph: Graph, path: str | os.PathLike) -> None:
         src, dst = src[keep], dst[keep]
         if w is not None:
             w = w[keep]
-    with open(path, "w") as f:
+    with _open_text(path, "w") as f:
         f.write(f"# vertices {graph.num_vertices} directed {int(graph.directed)}\n")
         if w is None:
             for s, d in zip(src.tolist(), dst.tolist()):
@@ -45,7 +65,7 @@ def load_edgelist(path: str | os.PathLike) -> Graph:
     src: list[int] = []
     dst: list[int] = []
     weights: list[float] = []
-    with open(path) as f:
+    with _open_text(path, "r") as f:
         for line in f:
             line = line.strip()
             if not line:
@@ -70,6 +90,114 @@ def load_edgelist(path: str | os.PathLike) -> Graph:
     if w is not None and w.size != s.size:
         raise ValueError("some edges have weights and some do not")
     return Graph(num_vertices, s, d, weights=w, directed=directed)
+
+
+def save_update_stream(batches, path: str | os.PathLike) -> None:
+    """Write an edge-update stream: one ``ts op src dst [weight]`` line
+    per mutation, ``op`` being ``+`` (insert) or ``-`` (delete).
+
+    Batches without a timestamp get their position in the list.  The
+    format is edge-only; batches carrying vertex mutations are rejected
+    rather than silently truncated.
+    """
+    with _open_text(path, "w") as f:
+        f.write("# update stream: ts op src dst [weight]\n")
+        for pos, batch in enumerate(batches):
+            if batch.add_vertices or batch.delete_vertices.size:
+                raise ValueError(
+                    f"batch {pos} contains vertex mutations; the update-stream "
+                    "format only encodes edge insertions/deletions"
+                )
+            ts = batch.timestamp if batch.timestamp is not None else pos
+            if batch.insert_weights is None:
+                for s, d in zip(batch.insert_src.tolist(), batch.insert_dst.tolist()):
+                    f.write(f"{ts} + {s} {d}\n")
+            else:
+                for s, d, w in zip(
+                    batch.insert_src.tolist(),
+                    batch.insert_dst.tolist(),
+                    batch.insert_weights.tolist(),
+                ):
+                    f.write(f"{ts} + {s} {d} {w}\n")
+            for s, d in zip(batch.delete_src.tolist(), batch.delete_dst.tolist()):
+                f.write(f"{ts} - {s} {d}\n")
+
+
+def load_update_stream(path: str | os.PathLike, epoch_size: int | None = None):
+    """Read a timestamped edge-update stream into ``MutationBatch`` es.
+
+    By default mutations sharing a timestamp form one batch (in first-seen
+    timestamp order).  ``epoch_size`` instead re-chunks the stream into
+    batches of *up to* that many mutations, in file order — how the
+    ``stream`` CLI subcommand turns one long trace into fixed-size
+    epochs.  A chunk is cut early rather than let one batch both insert
+    and delete the same edge (batches are atomic, so that combination is
+    ambiguous); the later mutation simply lands in the next epoch,
+    preserving replay order.
+    """
+    from repro.streaming.batch import MutationBatch
+
+    records: list[tuple[int, str, int, int, float | None]] = []
+    with _open_text(path, "r") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (4, 5) or parts[1] not in ("+", "-"):
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'ts op src dst [weight]', got {line!r}"
+                )
+            ts, op, s, d = int(parts[0]), parts[1], int(parts[2]), int(parts[3])
+            w = float(parts[4]) if len(parts) == 5 else None
+            if op == "-" and w is not None:
+                raise ValueError(f"{path}:{lineno}: deletions must not carry weights")
+            records.append((ts, op, s, d, w))
+
+    if epoch_size is not None:
+        if epoch_size < 1:
+            raise ValueError("epoch_size must be >= 1")
+        groups = []
+        cur: list = []
+        # endpoint-set keys so reversed naming on undirected graphs also
+        # forces a cut (harmless extra cut on directed graphs)
+        seen_ops: dict = {}
+        for rec in records:
+            key = frozenset((rec[2], rec[3]))
+            opposite = "-" if rec[1] == "+" else "+"
+            if len(cur) >= epoch_size or seen_ops.get(key) == opposite:
+                groups.append(cur)
+                cur, seen_ops = [], {}
+            cur.append(rec)
+            seen_ops[key] = rec[1]
+        if cur:
+            groups.append(cur)
+    else:
+        order: list[int] = []
+        by_ts: dict[int, list] = {}
+        for rec in records:
+            if rec[0] not in by_ts:
+                order.append(rec[0])
+            by_ts.setdefault(rec[0], []).append(rec)
+        groups = [by_ts[ts] for ts in order]
+
+    batches = []
+    for pos, group in enumerate(groups):
+        ins = [(s, d) for _, op, s, d, _ in group if op == "+"]
+        ws = [w for _, op, _, _, w in group if op == "+"]
+        dele = [(s, d) for _, op, s, d, _ in group if op == "-"]
+        weighted = any(w is not None for w in ws)
+        if weighted and not all(w is not None for w in ws):
+            raise ValueError("some insertions carry weights and some do not")
+        batches.append(
+            MutationBatch.from_edges(
+                insertions=ins,
+                deletions=dele,
+                weights=ws if weighted else None,
+                timestamp=group[0][0] if epoch_size is None else pos,
+            )
+        )
+    return batches
 
 
 def save_npz(graph: Graph, path: str | os.PathLike) -> None:

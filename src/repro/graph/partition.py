@@ -20,6 +20,7 @@ __all__ = [
     "hash_partition",
     "range_partition",
     "metis_like_partition",
+    "extend_partition",
     "partition_quality",
 ]
 
@@ -31,6 +32,28 @@ def hash_partition(num_vertices: int, num_workers: int, seed: int = 0) -> np.nda
     """
     rng = np.random.default_rng(seed)
     return rng.integers(0, num_workers, size=num_vertices, dtype=np.int64)
+
+
+def extend_partition(
+    owner: np.ndarray, num_new: int, num_workers: int, seed: int = 0
+) -> np.ndarray:
+    """Assign ``num_new`` appended vertex ids without moving any existing
+    vertex (streaming-graph contract: ownership — and with it every
+    per-worker state array — stays aligned across epochs).
+
+    New ids get hash-partition assignments whose seed folds in the old
+    size, so growing in two steps or one yields the same final array.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    if num_new < 0:
+        raise ValueError("num_new must be >= 0")
+    if num_new == 0:
+        return owner
+    parts = [owner]
+    # one id at a time keeps the result invariant to batch grouping
+    for i in range(num_new):
+        parts.append(hash_partition(1, num_workers, seed=seed + owner.size + i))
+    return np.concatenate(parts)
 
 
 def range_partition(num_vertices: int, num_workers: int) -> np.ndarray:

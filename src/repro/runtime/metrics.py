@@ -73,6 +73,14 @@ class MetricsCollector:
     recovery_time: float = 0.0
     num_failures: int = 0
 
+    # -- streaming (set by the epoch engine; None outside streaming runs) ---
+    #: which epoch of a streaming run this collector measured
+    epoch: int | None = None
+    #: refresh mode that actually ran ("incremental" | "full")
+    refresh_mode: str | None = None
+    #: vertices the refresh plan recomputed (0 for an empty delta)
+    affected_vertices: int = 0
+
     # -- run lifecycle ----------------------------------------------------
     def start_run(self) -> None:
         self._wall_start = time.perf_counter()
@@ -147,6 +155,14 @@ class MetricsCollector:
         self.recovery_bytes += int(nbytes)
         self.recovery_time += seconds
 
+    # -- streaming ----------------------------------------------------------
+    def record_stream_epoch(self, epoch: int, affected: int, mode: str) -> None:
+        """Tag this run as one epoch of a streaming job (the per-epoch
+        counters then appear in :meth:`summary`)."""
+        self.epoch = int(epoch)
+        self.affected_vertices = int(affected)
+        self.refresh_mode = mode
+
     def snapshot(self) -> dict:
         """Copy of the rollback-able bookkeeping (per-superstep records and
         the per-channel traffic).  Fault-tolerance counters are excluded on
@@ -215,6 +231,12 @@ class MetricsCollector:
             "simulated_time": self.simulated_time,
             "wall_time": self.wall_time,
         }
+        if self.epoch is not None:
+            out.update(
+                epoch=self.epoch,
+                refresh=self.refresh_mode,
+                affected_vertices=self.affected_vertices,
+            )
         if self.num_checkpoints or self.num_failures:
             out.update(
                 checkpoints=self.num_checkpoints,

@@ -139,3 +139,79 @@ class TestCLI:
     def test_requires_graph_source(self):
         with pytest.raises(SystemExit):
             cli_main(["run", "wcc"])
+
+
+class TestStreamCLI:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.io import save_edgelist, save_update_stream
+        from repro.streaming import synthesize_stream
+
+        g = erdos_renyi(200, 3.0, seed=21, directed=True)
+        gpath = tmp_path / "g.txt"
+        save_edgelist(g, gpath)
+        upath = tmp_path / "u.txt"
+        save_update_stream(synthesize_stream(g, 2, 5, 5, seed=22), upath)
+        return str(gpath), str(upath)
+
+    def test_stream_json_rows(self, stream_file, capsys):
+        gpath, upath = stream_file
+        rc = cli_main(
+            [
+                "stream", "wcc", "--graph", gpath, "--updates", upath,
+                "--workers", "2", "--json",
+            ]
+        )
+        assert rc == 0
+        rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(rows) == 3  # bootstrap + 2 epochs
+        assert rows[0]["refresh"] == "full" and rows[0]["epoch"] == 0
+        assert rows[1]["refresh"] == "incremental"
+        assert all("affected_vertices" in r for r in rows)
+
+    def test_stream_epoch_size_rechunks(self, stream_file, capsys):
+        gpath, upath = stream_file
+        rc = cli_main(
+            [
+                "stream", "pagerank", "--graph", gpath, "--updates", upath,
+                "--epoch-size", "4", "--iterations", "3", "--workers", "2",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(rows) == 1 + 5  # 20 mutations in chunks of 4
+        assert all(r["batch_size"] == 4 for r in rows[1:])
+
+    def test_stream_bad_compact_threshold(self, stream_file, capsys):
+        gpath, upath = stream_file
+        rc = cli_main(
+            [
+                "stream", "wcc", "--graph", gpath, "--updates", upath,
+                "--compact-threshold", "0",
+            ]
+        )
+        assert rc == 2
+        assert "compact-threshold" in capsys.readouterr().err
+
+    def test_stream_bad_updates_file(self, stream_file, tmp_path, capsys):
+        gpath, _ = stream_file
+        bad = tmp_path / "bad.txt"
+        bad.write_text("nonsense\n")
+        rc = cli_main(
+            ["stream", "wcc", "--graph", gpath, "--updates", str(bad)]
+        )
+        assert rc == 2
+        assert "bad --updates" in capsys.readouterr().err
+
+    def test_stream_deleting_missing_edge_fails_cleanly(self, stream_file, tmp_path, capsys):
+        gpath, _ = stream_file
+        upd = tmp_path / "missing.txt"
+        upd.write_text("0 - 0 199\n0 - 199 0\n")
+        rc = cli_main(
+            ["stream", "wcc", "--graph", gpath, "--updates", upd.as_posix()]
+        )
+        assert rc in (1, 0)  # 1 unless that edge happens to exist
+        if rc == 1:
+            assert "stream application failed" in capsys.readouterr().err

@@ -1,11 +1,21 @@
 """Unit tests for graph IO."""
 
+import gzip
+
 import numpy as np
 import pytest
 
 from repro.graph.graph import Graph
-from repro.graph.io import load_edgelist, load_npz, save_edgelist, save_npz
+from repro.graph.io import (
+    load_edgelist,
+    load_npz,
+    load_update_stream,
+    save_edgelist,
+    save_npz,
+    save_update_stream,
+)
 from repro.graph import rmat, grid_road
+from repro.streaming import MutationBatch, synthesize_stream
 
 
 class TestEdgelist:
@@ -49,6 +59,88 @@ class TestEdgelist:
         path.write_text("0 1 2.0\n1 2\n")
         with pytest.raises(ValueError):
             load_edgelist(path)
+
+
+class TestGzip:
+    def test_edgelist_gz_roundtrip(self, tmp_path):
+        g = rmat(6, edge_factor=3, seed=1)
+        path = tmp_path / "g.txt.gz"
+        save_edgelist(g, path)
+        # really compressed, not just renamed
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        h = load_edgelist(path)
+        assert h.num_vertices == g.num_vertices
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_reads_externally_gzipped_file(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as f:
+            f.write("0 1\n1 2\n")
+        g = load_edgelist(path)
+        assert g.num_vertices == 3 and g.num_edges == 2
+
+
+class TestUpdateStream:
+    def test_roundtrip_grouped_by_timestamp(self, tmp_path):
+        g = grid_road(6, 6, seed=0)
+        batches = synthesize_stream(g, 3, 4, 3, seed=9)
+        path = tmp_path / "u.txt"
+        save_update_stream(batches, path)
+        back = load_update_stream(path)
+        assert len(back) == 3
+        for a, b in zip(batches, back):
+            np.testing.assert_array_equal(a.insert_src, b.insert_src)
+            np.testing.assert_array_equal(a.insert_dst, b.insert_dst)
+            np.testing.assert_allclose(a.insert_weights, b.insert_weights)
+            np.testing.assert_array_equal(a.delete_src, b.delete_src)
+            np.testing.assert_array_equal(a.delete_dst, b.delete_dst)
+
+    def test_gz_roundtrip(self, tmp_path):
+        batches = [MutationBatch.from_edges(insertions=[(0, 1)], timestamp=5)]
+        path = tmp_path / "u.txt.gz"
+        save_update_stream(batches, path)
+        back = load_update_stream(path)
+        assert len(back) == 1 and back[0].timestamp == 5
+        assert back[0].num_insertions == 1
+
+    def test_epoch_size_rechunks(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text(
+            "# comment\n"
+            "0 + 1 2\n0 + 2 3\n0 - 4 5\n1 + 6 7\n1 - 8 9\n"
+        )
+        batches = load_update_stream(path, epoch_size=2)
+        assert [b.size for b in batches] == [2, 2, 1]
+        by_ts = load_update_stream(path)
+        assert [b.size for b in by_ts] == [3, 2]
+        assert [b.timestamp for b in by_ts] == [0, 1]
+
+    def test_vertex_mutations_rejected(self, tmp_path):
+        batch = MutationBatch.from_edges(insertions=[(0, 1)], add_vertices=2)
+        with pytest.raises(ValueError, match="vertex mutations"):
+            save_update_stream([batch], tmp_path / "u.txt")
+
+    def test_epoch_size_cuts_before_insert_delete_collision(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("0 + 1 2\n1 - 1 2\n2 - 3 4\n")
+        batches = load_update_stream(path, epoch_size=3)
+        # the delete of (1,2) — and with it everything after — moves to
+        # the next chunk rather than joining its own insert in one batch
+        assert [b.size for b in batches] == [1, 2]
+        assert batches[0].num_insertions == 1
+        assert batches[1].num_deletions == 2
+        # reversed endpoint naming collides too (undirected convention)
+        path.write_text("0 + 1 2\n1 - 2 1\n")
+        assert [b.size for b in load_update_stream(path, epoch_size=2)] == [1, 1]
+
+    def test_malformed_lines_rejected(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("0 * 1 2\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_update_stream(path)
+        path.write_text("0 - 1 2 3.5\n")
+        with pytest.raises(ValueError, match="deletions must not"):
+            load_update_stream(path)
 
 
 class TestNpz:
