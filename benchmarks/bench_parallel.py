@@ -1,0 +1,161 @@
+"""Simulated vs. multiprocess backend (BENCH_parallel.json).
+
+For each workload × worker count, runs the same program on the simulated
+backend (every worker sequential in one process) and on the process
+backend (one OS process per worker over shared memory and pipes), then:
+
+* **asserts the parity contract** — bit-identical result data, identical
+  per-channel traffic breakdown, and identical superstep / byte /
+  message totals; a speedup can never come from doing different work —
+  the script exits non-zero on any violation, which the CI smoke relies
+  on;
+* **reports the wall-clock ratio** — the process backend's whole point.
+  The speedup is only meaningful when the machine actually has cores to
+  parallelize over, so the artifact records ``cpus``; on a single-CPU
+  box the process rows measure protocol overhead, not parallelism, and
+  ``speedup_valid`` is false.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py                      # 100k-vertex workloads
+    PYTHONPATH=src python benchmarks/bench_parallel.py --dataset tree --workers 2  # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from _provenance import write_artifact
+from repro.algorithms.pagerank import run_pagerank
+from repro.algorithms.wcc import run_wcc
+from repro.bench.datasets import load_dataset
+from repro.bench.tables import render_rows
+from repro.graph.partition import hash_partition
+
+WORKLOADS = {
+    "pr-scatter-bulk": lambda g, **kw: run_pagerank(
+        g, variant="scatter", iterations=10, mode="bulk", **kw
+    ),
+    "wcc-bulk": lambda g, **kw: run_wcc(g, variant="basic", mode="bulk", **kw),
+}
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _identical(a, b) -> bool:
+    da, db = a[0], b[0]
+    same_data = np.array_equal(da, db) if isinstance(da, np.ndarray) else da == db
+    ma, mb = a[-1].metrics, b[-1].metrics
+    return bool(
+        same_data
+        and a[-1].data == b[-1].data
+        and ma.channel_breakdown() == mb.channel_breakdown()
+        and ma.supersteps == mb.supersteps
+        and ma.total_rounds == mb.total_rounds
+        and ma.total_net_bytes == mb.total_net_bytes
+        and ma.total_local_bytes == mb.total_local_bytes
+        and ma.total_messages == mb.total_messages
+    )
+
+
+def bench(dataset: str, workers_list: list[int], seed: int) -> list[dict]:
+    graph = load_dataset(dataset)
+    rows = []
+    for name, runner in WORKLOADS.items():
+        for workers in workers_list:
+            part = hash_partition(graph.num_vertices, workers, seed=seed)
+            sim = runner(graph, num_workers=workers, partition=part)
+            proc = runner(
+                graph, num_workers=workers, partition=part, executor="process"
+            )
+            ms, mp_ = sim[-1].metrics, proc[-1].metrics
+            rows.append(
+                {
+                    "workload": name,
+                    "workers": workers,
+                    "supersteps": ms.supersteps,
+                    "net_mb": round(ms.total_net_bytes / 1e6, 3),
+                    "sim_wall_s": round(ms.wall_time, 4),
+                    "process_wall_s": round(mp_.wall_time, 4),
+                    "speedup": round(ms.wall_time / max(mp_.wall_time, 1e-9), 2),
+                    "traffic_identical": _identical(sim, proc),
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dataset",
+        default="bulk-100k",
+        help="benchmark graph name (default: the 100k-vertex workload)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[2, 8],
+        help="worker counts to compare (default: 2 8)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="hash-partition seed, so reruns measure the same distribution",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_parallel.json",
+        help="output JSON path (default: repo-root BENCH_parallel.json)",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = _cpus()
+    rows = bench(args.dataset, args.workers, args.seed)
+    print(
+        render_rows(
+            rows,
+            title=f"sim vs process backend ({args.dataset}, {cpus} cpus)",
+            cols=list(rows[0]),
+        )
+    )
+    if cpus < 2:
+        print(
+            f"NOTE: only {cpus} cpu visible — the process rows measure "
+            "protocol overhead, not parallel speedup",
+            file=sys.stderr,
+        )
+
+    write_artifact(
+        args.out,
+        rows,
+        dataset=args.dataset,
+        workers=args.workers,
+        seed=args.seed,
+        cpus=cpus,
+        speedup_valid=cpus >= 2,
+    )
+
+    broken = [
+        f"{r['workload']}@{r['workers']}" for r in rows if not r["traffic_identical"]
+    ]
+    if broken:
+        print(f"PARITY VIOLATION in: {', '.join(broken)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,7 +81,7 @@ def bench_workload(
             "workload": name,
             "mode": "checkpoint-only",
             "fail_at": None,
-            "supersteps": baseline[-1].supersteps,
+            "supersteps": baseline[-1].metrics.supersteps,
             "checkpoint_pct": round(100 * cm.checkpoint_time / max(base_time, 1e-12), 2),
             "checkpoint_bytes": cm.checkpoint_bytes,
             "log_bytes": cm.log_bytes,
@@ -91,7 +91,7 @@ def bench_workload(
         }
     ]
 
-    steps = baseline[-1].supersteps
+    steps = baseline[-1].metrics.supersteps
     if fails is None:
         # early and late failure of worker 1; the early one is placed just
         # past a checkpoint boundary so replay cost is visible (a failure
@@ -122,7 +122,7 @@ def bench_workload(
                     "workload": name,
                     "mode": mode,
                     "fail_at": f"{worker}:{superstep}",
-                    "supersteps": out[-1].supersteps,
+                    "supersteps": out[-1].metrics.supersteps,
                     "checkpoint_pct": round(
                         100 * m.checkpoint_time / max(base_time, 1e-12), 2
                     ),

@@ -87,8 +87,11 @@ def bench_cell(
             t0 = time.perf_counter()
             epoch = eng.run_epoch(batch)
             wall[mode] += time.perf_counter() - t0
-            bytes_total[mode] += epoch.result.total_net_bytes
-            steps_total[mode] += epoch.result.supersteps
+            # read totals off the collector, not the EngineResult
+            # pass-throughs: those are None when metrics are disabled, and
+            # a byte comparison fed by silent zeros would pass vacuously
+            bytes_total[mode] += epoch.result.metrics.total_net_bytes
+            steps_total[mode] += epoch.result.metrics.supersteps
             results[mode] = epoch
         identical = identical and (
             results["incremental"].data == results["full"].data

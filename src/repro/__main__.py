@@ -76,6 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--workers", type=int, default=8)
     run.add_argument(
+        "--executor",
+        choices=["sim", "process"],
+        default="sim",
+        help="execution backend: in-process simulation (sim) or one OS "
+        "process per worker over shared memory (process); results and "
+        "traffic totals are bit-identical",
+    )
+    run.add_argument(
         "--partition",
         choices=["hash", "range", "metis"],
         default="hash",
@@ -188,7 +196,14 @@ def _cmd_run(args) -> int:
         )
         return 2
     partition = "metis" if args.partitioned else args.partition
-    kwargs = {"num_workers": args.workers}
+    if args.executor == "process" and (args.checkpoint_every is not None or args.fail):
+        print(
+            "--executor process does not support --checkpoint-every/--fail "
+            "(fault tolerance runs on the simulated backend)",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {"num_workers": args.workers, "executor": args.executor}
     if partition == "metis":
         kwargs["partition"] = metis_like_partition(graph, args.workers, seed=0)
     elif partition == "range":
@@ -218,6 +233,7 @@ def _cmd_run(args) -> int:
         "edges": graph.num_input_edges,
         "workers": args.workers,
         "partition": partition,
+        "executor": args.executor,
         **m.summary(),
     }
     if args.json:

@@ -38,6 +38,9 @@ __all__ = ["ChannelEngine", "EngineResult"]
 #: recognised ``recovery`` modes (see :mod:`repro.core.recovery`)
 RECOVERY_MODES = ("rollback", "confined")
 
+#: recognised execution backends
+EXECUTORS = ("sim", "process")
+
 
 @dataclass
 class EngineResult:
@@ -46,29 +49,40 @@ class EngineResult:
     The pass-through properties mirror the most-used
     :class:`~repro.runtime.metrics.MetricsCollector` totals so callers
     (benchmarks, examples) don't reach into ``result.metrics`` internals.
+
+    When ``metrics`` is ``None`` (collection disabled) every pass-through
+    property returns ``None`` — a run with no collector did not observe
+    "0 bytes"/"0.0 seconds", it observed nothing, and the old zero
+    fallbacks made byte-identity comparisons between such runs pass
+    vacuously.  Callers comparing totals must read them through
+    ``result.metrics`` or handle ``None`` explicitly.
     """
 
     data: dict = field(default_factory=dict)
     metrics: MetricsCollector | None = None
 
     @property
-    def supersteps(self) -> int:
-        return self.metrics.supersteps if self.metrics else 0
+    def supersteps(self) -> int | None:
+        return self.metrics.supersteps if self.metrics is not None else None
 
     @property
-    def total_net_bytes(self) -> int:
-        """Serialized bytes that crossed worker boundaries."""
-        return self.metrics.total_net_bytes if self.metrics else 0
+    def total_net_bytes(self) -> int | None:
+        """Serialized bytes that crossed worker boundaries (``None`` when
+        metrics collection was disabled — not the same as 0, which means
+        a measured run with no traffic)."""
+        return self.metrics.total_net_bytes if self.metrics is not None else None
 
     @property
-    def total_messages(self) -> int:
-        """Network messages counted by all channels."""
-        return self.metrics.total_messages if self.metrics else 0
+    def total_messages(self) -> int | None:
+        """Network messages counted by all channels (``None`` when
+        metrics collection was disabled)."""
+        return self.metrics.total_messages if self.metrics is not None else None
 
     @property
-    def simulated_time(self) -> float:
-        """Modeled parallel runtime (max compute + network per superstep)."""
-        return self.metrics.simulated_time if self.metrics else 0.0
+    def simulated_time(self) -> float | None:
+        """Modeled parallel runtime (max compute + network per superstep);
+        ``None`` when metrics collection was disabled."""
+        return self.metrics.simulated_time if self.metrics is not None else None
 
 
 class ChannelEngine:
@@ -106,6 +120,20 @@ class ChannelEngine:
         the Pregel default).  The streaming layer seeds refresh runs from
         the delta-affected region this way; programs may wake more
         vertices via ``before_superstep`` / message arrival as usual.
+    executor:
+        ``"sim"`` (default) runs every worker sequentially in-process
+        with modeled parallelism; ``"process"`` runs each worker as a
+        real OS process over shared memory and pipes
+        (:mod:`repro.runtime.parallel`) with bit-identical data,
+        per-channel traffic, and byte/message totals.  Fault tolerance
+        (``checkpoint_every``/``failures``) currently requires ``"sim"``.
+    sync_state:
+        Process executor only: when ``True``, each worker ships its
+        end-of-run state (program state dict, halt/wake flags, channel
+        ``snapshot()`` s) back through the checkpoint codec and the
+        engine loads it into its own workers, so post-run introspection
+        of ``engine.workers`` behaves as after a simulated run.  Off by
+        default — result data always comes back regardless.
     """
 
     def __init__(
@@ -119,9 +147,16 @@ class ChannelEngine:
         failures=None,
         recovery: str = "rollback",
         initial_active: np.ndarray | None = None,
+        executor: str = "sim",
+        sync_state: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        self.executor = executor
+        self.sync_state = bool(sync_state)
+        self._process_ran = False  # process-executor engines are single-run
         self.graph = graph
         self.num_workers = num_workers
         self.program_factory = program_factory
@@ -148,12 +183,14 @@ class ChannelEngine:
         for worker in self.workers:
             worker.program = program_factory(worker)
 
+        self.initial_active: np.ndarray | None = None
         if initial_active is not None:
             seeds = np.asarray(initial_active, dtype=np.int64)
             if seeds.size and (
                 seeds.min() < 0 or seeds.max() >= graph.num_vertices
             ):
                 raise ValueError("initial_active contains out-of-range vertex ids")
+            self.initial_active = seeds.copy()  # worker processes re-seed from this
             for worker in self.workers:
                 worker.seed_active(seeds)
 
@@ -192,6 +229,27 @@ class ChannelEngine:
         if failures is not None:
             failures.validate(self.num_workers)
         fault_tolerant = checkpoint_every is not None or bool(failures)
+
+        if self.executor == "process":
+            if fault_tolerant:
+                raise ValueError(
+                    "checkpointing/failure injection requires executor='sim'; "
+                    "the process backend does not support fault tolerance yet"
+                )
+            if self._process_ran:
+                # a second sim run() is a no-op (every worker is halted);
+                # worker processes would instead be rebuilt from the
+                # factory and silently re-execute the whole program —
+                # refuse rather than diverge from the sim contract
+                raise RuntimeError(
+                    "this engine already ran with executor='process'; "
+                    "construct a new ChannelEngine to run again"
+                )
+            self._process_ran = True
+            from repro.runtime.parallel.backend import ProcessBackend
+
+            return ProcessBackend(self).run(max_supersteps=max_supersteps)
+
         self.frame_log = (
             FrameLog(self.num_workers)
             if bool(failures) and recovery == "confined"

@@ -28,7 +28,17 @@ _FRAME = struct.Struct("<ii")  # channel_id, payload nbytes
 
 
 class Worker:
-    """One simulated worker: vertices + channels + buffers."""
+    """One worker: vertices + channels + buffers.
+
+    ``engine`` is the execution context, not necessarily the
+    :class:`~repro.core.engine.ChannelEngine` itself: the multiprocess
+    backend substitutes a per-process host
+    (:class:`repro.runtime.parallel.worker_proc._WorkerHost`).  The
+    contract this class and the channels rely on is the attribute set
+    ``graph``, ``owner``, ``num_workers``, ``step_num``, and ``metrics``
+    (with the counting surface ``count_channel_bytes`` /
+    ``count_messages`` / ``count_channel_messages``).
+    """
 
     def __init__(
         self,

@@ -81,6 +81,8 @@ class Graph:
         self.indptr, self.indices, self.weights = _build_csr(
             num_vertices, src, dst, weights
         )
+        _check_index_dtype("indptr", self.indptr)
+        _check_index_dtype("indices", self.indices)
         self._rev_indptr: np.ndarray | None = None
         self._rev_indices: np.ndarray | None = None
         self._rev_weights: np.ndarray | None = None
@@ -99,6 +101,74 @@ class Graph:
             arr = arr.reshape(0, 2)
         w = None if weights is None else np.asarray(list(weights), dtype=np.float64)
         return cls(num_vertices, arr[:, 0], arr[:, 1], weights=w, directed=directed)
+
+    @classmethod
+    def from_csr(
+        cls,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+        directed: bool = True,
+        validate: bool = True,
+    ) -> "Graph":
+        """Wrap already-built CSR arrays **without copying them**.
+
+        This is the attach half of the zero-copy pair used by the
+        multiprocess backend (the export half is :meth:`csr_arrays`): a
+        worker process maps the parent's ``indptr``/``indices``/``weights``
+        buffers out of shared memory and hands the views straight to this
+        constructor.  The arrays are validated (shape, dtype, monotone
+        ``indptr``, in-range ``indices``) but never copied, so every
+        worker reads the same physical graph.
+
+        ``validate=False`` skips the O(V+E) content scans (shape/dtype
+        checks remain) for arrays that provably came out of a validated
+        ``Graph`` already — e.g. every worker process attaching the
+        parent's exported CSR; re-scanning it N times per run would be
+        pure startup cost.
+        """
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        _check_index_dtype("indptr", indptr)
+        _check_index_dtype("indices", indices)
+        if indptr.shape != (num_vertices + 1,):
+            raise ValueError(
+                f"indptr must have num_vertices+1 entries, got {indptr.shape}"
+            )
+        if weights is not None:
+            weights = np.asarray(weights)
+            if weights.dtype != np.float64:
+                raise TypeError(f"weights must be float64, got {weights.dtype}")
+            if weights.shape != indices.shape:
+                raise ValueError("weights must match indices length")
+        if validate:
+            if indptr.size and (indptr[0] != 0 or indptr[-1] != indices.size):
+                raise ValueError("indptr must start at 0 and end at len(indices)")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+            if indices.size and (indices.min() < 0 or indices.max() >= num_vertices):
+                raise ValueError("indices contain out-of-range vertex ids")
+        g = cls.__new__(cls)
+        g.num_vertices = int(num_vertices)
+        g.directed = bool(directed)
+        g.indptr = indptr
+        g.indices = indices
+        g.weights = weights
+        g._rev_indptr = None
+        g._rev_indices = None
+        g._rev_weights = None
+        return g
+
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        """The graph's backing CSR arrays, by name (``weights`` only when
+        present) — the export half of the zero-copy pair; see
+        :meth:`from_csr`.  The returned views are the live arrays: treat
+        them as read-only."""
+        out = {"indptr": self.indptr, "indices": self.indices}
+        if self.weights is not None:
+            out["weights"] = self.weights
+        return out
 
     # -- basic accessors -------------------------------------------------
     @property
@@ -214,6 +284,23 @@ class Graph:
         w = ", weighted" if self.weighted else ""
         return (
             f"Graph({kind}{w}, |V|={self.num_vertices}, |E|={self.num_input_edges})"
+        )
+
+
+def _check_index_dtype(name: str, arr: np.ndarray) -> None:
+    """Assert a CSR index array is ``int64``.
+
+    Every generator and transform is expected to emit 64-bit indices so
+    that synthetic graphs past 2^31 edges survive concatenation with
+    streaming deltas (NumPy would silently upcast-or-wrap mixed-width
+    concatenations depending on platform).  Catch a narrower dtype at
+    construction instead.
+    """
+    if arr.dtype != np.int64:
+        raise TypeError(
+            f"graph {name} must be int64, got {arr.dtype}; narrow index "
+            "arrays overflow on >=2^31-edge graphs and break concatenation "
+            "with streaming deltas"
         )
 
 

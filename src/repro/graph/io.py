@@ -45,7 +45,13 @@ def save_edgelist(graph: Graph, path: str | os.PathLike) -> None:
         if w is not None:
             w = w[keep]
     with _open_text(path, "w") as f:
-        f.write(f"# vertices {graph.num_vertices} directed {int(graph.directed)}\n")
+        # the weighted flag makes zero-edge weighted graphs round-trip:
+        # with no edge lines to carry weights, the header is the only
+        # place the information can live
+        f.write(
+            f"# vertices {graph.num_vertices} directed {int(graph.directed)} "
+            f"weighted {int(graph.weighted)}\n"
+        )
         if w is None:
             for s, d in zip(src.tolist(), dst.tolist()):
                 f.write(f"{s} {d}\n")
@@ -62,6 +68,7 @@ def load_edgelist(path: str | os.PathLike) -> Graph:
     """
     num_vertices = -1
     directed = True
+    header_weighted: bool | None = None
     src: list[int] = []
     dst: list[int] = []
     weights: list[float] = []
@@ -76,6 +83,8 @@ def load_edgelist(path: str | os.PathLike) -> Graph:
                     num_vertices = int(parts[parts.index("vertices") + 1])
                 if "directed" in parts:
                     directed = bool(int(parts[parts.index("directed") + 1]))
+                if "weighted" in parts:
+                    header_weighted = bool(int(parts[parts.index("weighted") + 1]))
                 continue
             parts = line.split()
             src.append(int(parts[0]))
@@ -86,9 +95,15 @@ def load_edgelist(path: str | os.PathLike) -> Graph:
     d = np.asarray(dst, dtype=np.int64)
     if num_vertices < 0:
         num_vertices = int(max(s.max(initial=-1), d.max(initial=-1)) + 1)
-    w = np.asarray(weights, dtype=np.float64) if weights else None
-    if w is not None and w.size != s.size:
+    # explicit length/header checks, NOT list truthiness: `if weights`
+    # silently dropped the weights of a zero-edge weighted graph (an empty
+    # list is falsy), turning it unweighted across a save/load round-trip
+    weighted = header_weighted if header_weighted is not None else len(weights) > 0
+    if weighted and len(weights) != len(src):
         raise ValueError("some edges have weights and some do not")
+    if not weighted and weights:
+        raise ValueError("header says unweighted but edge lines carry weights")
+    w = np.asarray(weights, dtype=np.float64) if weighted else None
     return Graph(num_vertices, s, d, weights=w, directed=directed)
 
 

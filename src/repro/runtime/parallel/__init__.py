@@ -1,0 +1,27 @@
+"""True multiprocess execution backend (``executor="process"``).
+
+The simulated engine runs every worker sequentially inside one Python
+process; this package runs each worker as a real OS process instead,
+while reproducing the simulated superstep / exchange-round loop exactly:
+
+* the CSR graph and the partition array live in
+  ``multiprocessing.shared_memory`` segments, mapped read-only into every
+  worker process (:mod:`repro.runtime.parallel.shm`);
+* all per-superstep traffic crosses process boundaries as the *same wire
+  bytes* the channels serialize in the simulator — frames travel over
+  pipes, peer to peer, and the parent only collects byte counts — so the
+  byte/message accounting is bit-identical to a simulated run
+  (:mod:`repro.runtime.parallel.worker_proc`);
+* a command/reply barrier protocol over per-worker control pipes drives
+  the superstep loop (:mod:`repro.runtime.parallel.backend`); control
+  messages are encoded with the checkpoint layer's tagged binary codec
+  (:func:`repro.runtime.checkpoint.encode_state`) — no pickle anywhere on
+  the data path.
+
+Entry point: ``ChannelEngine(..., executor="process")``.
+"""
+
+from repro.runtime.parallel.backend import ProcessBackend
+from repro.runtime.parallel.protocol import WorkerProcessError
+
+__all__ = ["ProcessBackend", "WorkerProcessError"]

@@ -1,0 +1,72 @@
+"""Pickle-free control-plane messages and crash-aware receives.
+
+Every command and reply crossing a control pipe is a plain dict of
+scalars/arrays/lists, serialized with the checkpoint layer's tagged
+binary codec (:func:`repro.runtime.checkpoint.encode_state`) and moved
+with ``Connection.send_bytes`` — the process backend never pickles
+anything, matching how the channels themselves refuse to ship live
+object references.
+
+Receives are supervised: the parent polls with a short timeout and
+checks worker liveness between polls, so a worker process dying (OOM
+kill, segfault, ``os._exit``) surfaces as a :class:`WorkerProcessError`
+instead of a hang.
+"""
+
+from __future__ import annotations
+
+from multiprocessing.connection import Connection
+
+from repro.runtime.checkpoint import decode_state, encode_state
+
+__all__ = ["WorkerProcessError", "send_msg", "recv_msg", "recv_supervised"]
+
+#: seconds between liveness checks while waiting on a reply
+_POLL_INTERVAL = 0.05
+
+
+class WorkerProcessError(RuntimeError):
+    """A worker process died or reported a failure."""
+
+
+def send_msg(conn: Connection, msg: dict) -> None:
+    conn.send_bytes(encode_state(msg))
+
+
+def recv_msg(conn: Connection) -> dict:
+    return decode_state(conn.recv_bytes())
+
+
+def recv_supervised(conn: Connection, worker_id: int, procs, phase: str) -> dict:
+    """Receive worker ``worker_id``'s reply, watching *all* processes.
+
+    Any worker dying aborts the wait — not just the one being awaited:
+    with peer-to-peer frame pipes a live worker may itself be blocked on
+    frames from the dead one, so its reply would never come.
+
+    A reply carrying an ``error`` key (a formatted child traceback) is
+    also raised as :class:`WorkerProcessError`.
+    """
+    try:
+        while not conn.poll(_POLL_INTERVAL):
+            for w, proc in enumerate(procs):
+                if not proc.is_alive():
+                    raise WorkerProcessError(
+                        f"worker process {w} died (exit code {proc.exitcode}) "
+                        f"during {phase}"
+                    )
+        msg = recv_msg(conn)
+    except EOFError:
+        # the awaited worker's pipe closed without a reply: it died
+        # between liveness checks (poll reports readable on EOF)
+        proc = procs[worker_id]
+        proc.join(timeout=1)
+        raise WorkerProcessError(
+            f"worker process {worker_id} died (exit code {proc.exitcode}) "
+            f"during {phase}"
+        ) from None
+    if "error" in msg:
+        raise WorkerProcessError(
+            f"worker process {worker_id} failed during {phase}:\n{msg['error']}"
+        )
+    return msg

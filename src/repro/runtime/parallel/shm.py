@@ -1,0 +1,90 @@
+"""Read-only NumPy arrays over ``multiprocessing.shared_memory``.
+
+The parent exports each array once (one copy into a fresh segment); every
+worker process attaches by name and gets a read-only zero-copy view.  The
+specs that travel to the children are plain ``(name, dtype, shape)``
+tuples, so they cross the control pipes through the same tagged-binary
+codec as everything else.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrayExport", "attach_array"]
+
+
+def _spec(name: str, arr: np.ndarray) -> dict:
+    return {"name": name, "dtype": arr.dtype.str, "shape": list(arr.shape)}
+
+
+class SharedArrayExport:
+    """Parent-side owner of a set of shared-memory arrays.
+
+    ``share()`` copies an array into a new segment and returns its spec;
+    ``close()`` releases (and by default unlinks) every segment.  The
+    parent must keep this object alive for as long as children are
+    attached.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def share(self, arr: np.ndarray) -> dict:
+        arr = np.ascontiguousarray(arr)
+        # zero-size segments are rejected by the OS; keep 1 byte and let
+        # the spec's shape reconstruct the empty view
+        seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        self._segments.append(seg)
+        if arr.nbytes:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            view[...] = arr
+        return _spec(seg.name, arr)
+
+    def close(self, unlink: bool = True) -> None:
+        for seg in self._segments:
+            try:
+                seg.close()
+                if unlink:
+                    seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedArrayExport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_array(
+    spec: dict, unregister: bool = False
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Map a shared array read-only in this process.
+
+    Returns the view *and* the segment handle; the caller must keep the
+    handle alive while the view is in use and ``close()`` it afterwards
+    (never ``unlink()`` — the parent owns the segment).
+
+    ``unregister`` works around bpo-39959 for **spawned** children: their
+    private resource tracker would treat the attached segment as leaked
+    on exit and unlink it under the parent.  Forked children share the
+    parent's tracker, where attaching is an idempotent re-register —
+    unregistering there would instead erase the parent's claim, so the
+    caller must pass ``unregister`` matching the start method in use.
+    """
+    seg = shared_memory.SharedMemory(name=spec["name"])
+    if unregister:
+        try:  # pragma: no cover - spawn-only path
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+    shape = tuple(spec["shape"])
+    arr = np.ndarray(shape, dtype=np.dtype(spec["dtype"]), buffer=seg.buf)
+    arr.flags.writeable = False
+    return arr, seg

@@ -1,0 +1,267 @@
+"""The worker-process main loop (child side of the process backend).
+
+Each child owns one :class:`~repro.core.worker.Worker` — built against
+the shared-memory graph and partition — plus the program instance its
+factory constructs, exactly as the simulated engine builds them.  The
+child then serves barrier-protocol commands from the parent:
+
+``begin``
+    ``program.before_superstep()`` + ``worker.begin_superstep()``;
+    replies with the active-set size so the parent can decide
+    termination globally.
+``compute``
+    Bump ``step_num`` and run the program on the stored active set.
+``exchange``
+    One exchange round: serialize the active channel groups, swap the
+    raw frame buffers peer-to-peer over the data pipes, deserialize, and
+    report which channel groups want another round.  The *same bytes*
+    the simulator's :class:`~repro.runtime.buffers.BufferExchange` would
+    move now cross real process boundaries; the parent gets only their
+    lengths, for cost-model accounting.
+``finalize``
+    Ship ``program.finalize()`` — and, when state sync is requested, the
+    full per-worker state in the checkpoint layer's capture format
+    (program state dict, halt/wake flags, per-channel ``snapshot()``) —
+    back to the parent through the tagged-binary codec.  No pickle: the
+    seven channel classes already know how to express their state as
+    arrays/scalars for checkpointing, and the process backend reuses
+    exactly that.
+``stop``
+    Exit the serve loop.
+
+Channel/worker code runs **unmodified**: the child's
+:class:`_WorkerHost` quacks like the engine (graph, owner, metrics,
+``step_num``) and its :class:`_ChildCounters` absorbs the byte/message
+accounting calls, which the child flushes to the parent with every
+reply.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+
+import numpy as np
+
+from repro.core.worker import Worker
+from repro.graph.graph import Graph
+from repro.runtime.parallel.protocol import recv_msg, send_msg
+from repro.runtime.parallel.shm import attach_array
+
+__all__ = ["worker_main"]
+
+
+class _ChildCounters:
+    """Accumulates the metric calls workers/channels make mid-phase; the
+    child flushes the deltas to the parent with every reply, where they
+    merge into the real :class:`~repro.runtime.metrics.MetricsCollector`."""
+
+    __slots__ = ("messages", "channel_traffic")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.channel_traffic: dict = {}
+
+    # -- MetricsCollector counting surface (see Worker.emit/count_net_messages)
+    def count_messages(self, n: int) -> None:
+        self.messages += n
+
+    def count_channel_bytes(self, label: str, nbytes: int, local: bool) -> None:
+        entry = self.channel_traffic.setdefault(label, [0, 0, 0])
+        entry[1 if local else 0] += nbytes
+
+    def count_channel_messages(self, label: str, n: int) -> None:
+        entry = self.channel_traffic.setdefault(label, [0, 0, 0])
+        entry[2] += n
+
+    def flush(self) -> dict:
+        out = {"messages": self.messages, "channels": self.channel_traffic}
+        self.messages = 0
+        self.channel_traffic = {}
+        return out
+
+
+class _WorkerHost:
+    """Just enough of :class:`~repro.core.engine.ChannelEngine` for a
+    :class:`Worker` and its channels to run unchanged in a child."""
+
+    def __init__(self, graph: Graph, owner: np.ndarray, num_workers: int) -> None:
+        self.graph = graph
+        self.owner = owner
+        self.num_workers = num_workers
+        self.metrics = _ChildCounters()
+        self.step_num = 0
+
+
+def _exchange_frames(
+    worker_id: int,
+    num_workers: int,
+    out_bufs: list[bytes],
+    send_conns: dict,
+    recv_conns: dict,
+) -> list[bytes]:
+    """Swap this round's raw buffers with every peer, pairwise.
+
+    A dedicated sender thread pushes all outgoing buffers while the main
+    thread drains the incoming pipes, so no send can wait on a receive —
+    every pipe is drained independently of this worker's own send
+    progress, which rules out the circular-wait deadlock of a naive
+    send-then-receive loop once a buffer outgrows the OS pipe capacity.
+    """
+    inbox = [b""] * num_workers
+    inbox[worker_id] = out_bufs[worker_id]  # self-delivery never hits a pipe
+    if num_workers == 1:
+        return inbox
+
+    failure: list[BaseException] = []
+
+    def _send_all() -> None:
+        try:
+            for peer in range(num_workers):
+                if peer != worker_id:
+                    send_conns[peer].send_bytes(out_bufs[peer])
+        except BaseException as exc:  # pragma: no cover - peer death race
+            failure.append(exc)
+
+    sender = threading.Thread(target=_send_all, daemon=True)
+    sender.start()
+    for peer in range(num_workers):
+        if peer != worker_id:
+            inbox[peer] = recv_conns[peer].recv_bytes()
+    sender.join()
+    if failure:  # pragma: no cover - peer death race
+        raise failure[0]
+    return inbox
+
+
+def worker_main(worker_id: int, cfg: dict, conn, send_conns: dict, recv_conns: dict) -> None:
+    """Child-process entry point; never raises (errors go to the parent)."""
+    segments = []
+    try:
+        unreg = cfg["unregister_shm"]
+        indptr, seg = attach_array(cfg["indptr"], unreg)
+        segments.append(seg)
+        indices, seg = attach_array(cfg["indices"], unreg)
+        segments.append(seg)
+        weights = None
+        if cfg["weights"] is not None:
+            weights, seg = attach_array(cfg["weights"], unreg)
+            segments.append(seg)
+        owner, seg = attach_array(cfg["owner"], unreg)
+        segments.append(seg)
+
+        # validate=False: these views are the parent Graph's own arrays,
+        # already validated at construction — don't rescan O(E) per worker
+        graph = Graph.from_csr(
+            cfg["num_vertices"],
+            indptr,
+            indices,
+            weights,
+            directed=cfg["directed"],
+            validate=False,
+        )
+        num_workers = cfg["num_workers"]
+        host = _WorkerHost(graph, owner, num_workers)
+        worker = Worker(host, worker_id, np.flatnonzero(owner == worker_id))
+        worker.program = cfg["program_factory"](worker)
+        if cfg["seeds"] is not None:
+            worker.seed_active(cfg["seeds"])
+        for channel in worker.channels:
+            channel.initialize()
+        send_msg(conn, {"ready": True, "num_channels": len(worker.channels)})
+
+        _serve(worker, host, conn, send_conns, recv_conns)
+    except BaseException:
+        try:
+            send_msg(conn, {"error": traceback.format_exc()})
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover
+                pass
+
+
+def _serve(worker: Worker, host: _WorkerHost, conn, send_conns, recv_conns) -> None:
+    counters = host.metrics
+    active = np.empty(0, dtype=np.int64)
+    num_workers = host.num_workers
+
+    while True:
+        msg = recv_msg(conn)
+        cmd = msg["cmd"]
+
+        if cmd == "begin":
+            worker.program.before_superstep()
+            active = worker.begin_superstep()
+            send_msg(conn, {"active": int(active.size)})
+
+        elif cmd == "compute":
+            host.step_num += 1
+            t0 = time.perf_counter()
+            worker.run_compute(active)
+            seconds = time.perf_counter() - t0
+            send_msg(conn, {"seconds": seconds, "counters": counters.flush()})
+
+        elif cmd == "exchange":
+            group_active = msg["group_active"]
+            t0 = time.perf_counter()
+            if msg["round"] == 0:
+                for channel in worker.channels:
+                    channel.reset_round()
+            for cid, channel in enumerate(worker.channels):
+                if group_active[cid]:
+                    channel.serialize()
+            out_bufs = []
+            for peer in range(num_workers):
+                writer = worker.buffers.out[peer]
+                out_bufs.append(writer.getvalue())
+                writer.clear()
+            seconds = time.perf_counter() - t0
+
+            inbox = _exchange_frames(
+                worker.worker_id, num_workers, out_bufs, send_conns, recv_conns
+            )
+            worker.buffers.inbox = inbox
+
+            t0 = time.perf_counter()
+            routed = worker.route_inbox()
+            next_active = [False] * len(worker.channels)
+            for cid, channel in enumerate(worker.channels):
+                if group_active[cid]:
+                    channel.deserialize(routed.get(cid, []))
+                    if channel.again():
+                        next_active[cid] = True
+                elif cid in routed:  # pragma: no cover - defensive
+                    raise RuntimeError(f"data arrived for inactive channel {cid}")
+            seconds += time.perf_counter() - t0
+
+            send_msg(
+                conn,
+                {
+                    "sent": np.array([len(b) for b in out_bufs], dtype=np.int64),
+                    "next_active": next_active,
+                    "seconds": seconds,
+                    "counters": counters.flush(),
+                },
+            )
+
+        elif cmd == "finalize":
+            reply = {"data": worker.program.finalize()}
+            if msg["sync"]:
+                # same capture format as runtime.checkpoint.capture_snapshot
+                reply["state"] = {
+                    "program": worker.program.state_dict(),
+                    "flags": worker.snapshot_flags(),
+                    "channels": [c.snapshot() for c in worker.channels],
+                }
+            send_msg(conn, reply)
+
+        elif cmd == "stop":
+            return
+
+        else:  # pragma: no cover - protocol bug guard
+            raise RuntimeError(f"unknown command {cmd!r}")

@@ -129,3 +129,28 @@ class TestOthers:
     def test_erdos_renyi_size(self):
         g = erdos_renyi(100, avg_degree=5, seed=0)
         assert abs(g.num_edges - 500) < 50
+
+
+class TestIndexDtypes:
+    """Every generator must emit int64 CSR arrays: narrower indices
+    overflow past 2^31 edges and break concatenation with streaming
+    deltas (enforced at construction by ``Graph.__init__``)."""
+
+    GENERATORS = [
+        lambda: chain(10),
+        lambda: random_tree(10, seed=1),
+        lambda: rmat(5, edge_factor=4, seed=1),
+        lambda: rmat(5, edge_factor=4, seed=1, directed=False, weighted=True),
+        lambda: erdos_renyi(50, avg_degree=3, seed=1),
+        lambda: grid_road(4, 5, seed=1),
+        lambda: star(8),
+        lambda: complete(6),
+    ]
+
+    @pytest.mark.parametrize("make", GENERATORS)
+    def test_int64_csr(self, make):
+        g = make()
+        assert g.indptr.dtype == np.int64
+        assert g.indices.dtype == np.int64
+        if g.weighted:
+            assert g.weights.dtype == np.float64

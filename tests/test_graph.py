@@ -123,3 +123,45 @@ class TestTransforms:
         # indptr monotone; each vertex's slice holds its own out-edges
         assert np.all(np.diff(g.indptr) >= 0)
         assert set(g.neighbors(3).tolist()) == {0, 1}
+
+
+class TestCsrExportAttach:
+    """The zero-copy pair used by the multiprocess backend."""
+
+    def test_from_csr_wraps_without_copy(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (2, 3)], weights=[1.0, 2.0, 3.0])
+        arrs = g.csr_arrays()
+        h = Graph.from_csr(4, arrs["indptr"], arrs["indices"], arrs["weights"])
+        assert h.indptr is g.indptr and h.indices is g.indices
+        assert h.weights is g.weights
+        assert sorted(h.edges()) == sorted(g.edges())
+        assert h.in_degree(3) == 1  # reverse adjacency builds lazily
+
+    def test_from_csr_validates(self):
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([1, 0], dtype=np.int64)
+        with pytest.raises(ValueError, match="indptr"):
+            Graph.from_csr(3, indptr, indices)  # wrong indptr length
+        with pytest.raises(ValueError, match="out-of-range"):
+            Graph.from_csr(2, indptr, np.array([1, 5], dtype=np.int64))
+        bad = np.array([0, 2, 1, 2], dtype=np.int64)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Graph.from_csr(3, bad, indices)
+
+    def test_index_dtype_enforced(self):
+        indptr = np.array([0, 1, 2], dtype=np.int32)
+        indices = np.array([1, 0], dtype=np.int64)
+        with pytest.raises(TypeError, match="int64"):
+            Graph.from_csr(2, indptr, indices)
+        with pytest.raises(TypeError, match="int64"):
+            Graph.from_csr(
+                2,
+                indptr.astype(np.int64),
+                indices.astype(np.int32),
+            )
+
+    def test_from_csr_weight_dtype_enforced(self):
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([1, 0], dtype=np.int64)
+        with pytest.raises(TypeError, match="float64"):
+            Graph.from_csr(2, indptr, indices, np.array([1, 2], dtype=np.float32))

@@ -60,6 +60,39 @@ class TestEdgelist:
         with pytest.raises(ValueError):
             load_edgelist(path)
 
+    def test_zero_edge_weighted_roundtrip(self, tmp_path):
+        # regression: `if weights` treated the empty weight list of a
+        # weighted zero-edge graph as "unweighted", silently dropping the
+        # flag across a save/load round-trip
+        g = Graph(5, np.empty(0, np.int64), np.empty(0, np.int64),
+                  weights=np.empty(0, np.float64), directed=True)
+        assert g.weighted
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        h = load_edgelist(path)
+        assert h.weighted
+        assert h.num_vertices == 5 and h.num_edges == 0
+
+    def test_zero_edge_unweighted_stays_unweighted(self, tmp_path):
+        g = Graph.from_edges(4, [])
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        assert not load_edgelist(path).weighted
+
+    def test_weight_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# vertices 3 directed 1 weighted 0\n0 1 2.0\n")
+        with pytest.raises(ValueError, match="header says unweighted"):
+            load_edgelist(path)
+
+    def test_headerless_weighted_file(self, tmp_path):
+        # files without the header comment still infer weights from lines
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.0\n1 2 0.5\n")
+        g = load_edgelist(path)
+        assert g.weighted
+        np.testing.assert_array_equal(g.edge_weights(0), [2.0])
+
 
 class TestGzip:
     def test_edgelist_gz_roundtrip(self, tmp_path):
@@ -162,3 +195,11 @@ class TestNpz:
         assert h.weighted
         np.testing.assert_allclose(h.weights, g.weights)
         assert h.num_input_edges == g.num_input_edges
+
+    def test_zero_edge_weighted_roundtrip(self, tmp_path):
+        g = Graph(5, np.empty(0, np.int64), np.empty(0, np.int64),
+                  weights=np.empty(0, np.float64), directed=True)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        h = load_npz(path)
+        assert h.weighted and h.num_vertices == 5 and h.num_edges == 0

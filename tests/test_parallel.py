@@ -1,0 +1,247 @@
+"""Process-backend parity matrix and crash behaviour.
+
+``executor="process"`` must be a pure execution-substrate change: for
+every workload × worker count × partitioner, a process run's result
+data, per-channel traffic (net/local bytes and message counts), and
+superstep/round/byte/message totals are asserted **bit-identical** to
+the simulated run's.  A dying worker process must surface as a clean
+:class:`WorkerProcessError`, never a hang.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import run_pagerank
+from repro.algorithms.pointer_jumping import run_pointer_jumping
+from repro.algorithms.sssp import run_sssp
+from repro.algorithms.wcc import run_wcc
+from repro.core import ChannelEngine, ScatterCombine, SUM_F64, VertexProgram
+from repro.graph import rmat
+from repro.graph.partition import hash_partition, range_partition
+from repro.runtime.parallel import WorkerProcessError
+
+WORKERS = [2, 8]
+PARTITIONERS = ["hash", "range"]
+
+
+@pytest.fixture(scope="module")
+def directed_graph():
+    return rmat(9, edge_factor=8, seed=31, directed=True)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    return rmat(9, edge_factor=4, seed=32, directed=False, weighted=True)
+
+
+def _partition(name, n, workers):
+    if name == "hash":
+        return hash_partition(n, workers)
+    return range_partition(n, workers)
+
+
+def _assert_identical(sim_out, proc_out):
+    (data_s, res_s), (data_p, res_p) = sim_out, proc_out
+    np.testing.assert_array_equal(data_s, data_p)
+    assert res_s.data == res_p.data
+    ms, mp_ = res_s.metrics, res_p.metrics
+    assert ms.channel_breakdown() == mp_.channel_breakdown()
+    assert ms.supersteps == mp_.supersteps
+    assert ms.total_rounds == mp_.total_rounds
+    assert ms.total_net_bytes == mp_.total_net_bytes
+    assert ms.total_local_bytes == mp_.total_local_bytes
+    assert ms.total_messages == mp_.total_messages
+
+
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+@pytest.mark.parametrize("workers", WORKERS)
+def test_pagerank_scatter_parity(directed_graph, workers, partitioner):
+    kw = dict(
+        variant="scatter",
+        iterations=8,
+        mode="bulk",
+        num_workers=workers,
+        partition=_partition(partitioner, directed_graph.num_vertices, workers),
+    )
+    _assert_identical(
+        run_pagerank(directed_graph, **kw),
+        run_pagerank(directed_graph, executor="process", **kw),
+    )
+
+
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+@pytest.mark.parametrize("workers", WORKERS)
+def test_wcc_parity(directed_graph, workers, partitioner):
+    kw = dict(
+        mode="bulk",
+        num_workers=workers,
+        partition=_partition(partitioner, directed_graph.num_vertices, workers),
+    )
+    _assert_identical(
+        run_wcc(directed_graph, **kw),
+        run_wcc(directed_graph, executor="process", **kw),
+    )
+
+
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+@pytest.mark.parametrize("workers", WORKERS)
+def test_sssp_parity(weighted_graph, workers, partitioner):
+    kw = dict(
+        source=3,
+        num_workers=workers,
+        partition=_partition(partitioner, weighted_graph.num_vertices, workers),
+    )
+    _assert_identical(
+        run_sssp(weighted_graph, **kw),
+        run_sssp(weighted_graph, executor="process", **kw),
+    )
+
+
+class TestOtherChannels:
+    """Channels outside the main matrix also survive the process hop."""
+
+    def test_reqresp_pointer_jumping_parity(self, directed_graph):
+        from repro.graph import random_tree
+
+        g = random_tree(400, seed=7)
+        kw = dict(variant="reqresp", num_workers=4)
+        _assert_identical(
+            run_pointer_jumping(g, **kw),
+            run_pointer_jumping(g, executor="process", **kw),
+        )
+
+    def test_propagation_wcc_parity(self, directed_graph):
+        kw = dict(variant="prop", num_workers=4)
+        _assert_identical(
+            run_wcc(directed_graph, **kw),
+            run_wcc(directed_graph, executor="process", **kw),
+        )
+
+    def test_mirrored_pagerank_parity(self, directed_graph):
+        kw = dict(variant="mirror", iterations=6, num_workers=4)
+        _assert_identical(
+            run_pagerank(directed_graph, **kw),
+            run_pagerank(directed_graph, executor="process", **kw),
+        )
+
+
+class TestEngineIntegration:
+    def test_initial_active_seeding(self, directed_graph):
+        seeds = np.array([3, 17, 90], dtype=np.int64)
+        kw = dict(mode="bulk", num_workers=4, initial_active=seeds)
+        _assert_identical(
+            run_wcc(directed_graph, **kw),
+            run_wcc(directed_graph, executor="process", **kw),
+        )
+
+    def test_sync_state_restores_parent_workers(self, directed_graph):
+        kw = dict(variant="scatter", iterations=5, mode="bulk", num_workers=4)
+        _, res_sim = run_pagerank(directed_graph, **kw)
+
+        from repro.algorithms.pagerank import PageRankScatterBulk
+
+        class PR(PageRankScatterBulk):
+            iterations = 5
+
+        engine = ChannelEngine(
+            directed_graph, PR, num_workers=4, executor="process", sync_state=True
+        )
+        res = engine.run()
+        assert res.data == res_sim.data
+        # parent-side program state now reflects the run that happened in
+        # the worker processes
+        merged = {}
+        for worker in engine.workers:
+            merged.update(worker.program.finalize())
+        assert merged == res.data
+        assert all(w.halted.all() for w in engine.workers)
+
+    def test_unknown_executor_rejected(self, directed_graph):
+        with pytest.raises(ValueError, match="executor"):
+            ChannelEngine(directed_graph, object, executor="threads")
+
+    def test_second_run_rejected(self, directed_graph):
+        # a second sim run() is a no-op (everyone halted); worker
+        # processes would be rebuilt fresh and re-execute everything, so
+        # the engine refuses rather than silently diverge
+        from repro.algorithms.wcc import WCCBasicBulk
+
+        engine = ChannelEngine(
+            directed_graph, WCCBasicBulk, num_workers=2, executor="process"
+        )
+        engine.run()
+        with pytest.raises(RuntimeError, match="already ran"):
+            engine.run()
+
+    def test_fault_tolerance_requires_sim(self, directed_graph):
+        from repro.algorithms.wcc import WCCBasicBulk
+
+        engine = ChannelEngine(
+            directed_graph,
+            WCCBasicBulk,
+            num_workers=2,
+            executor="process",
+            checkpoint_every=2,
+        )
+        with pytest.raises(ValueError, match="executor='sim'"):
+            engine.run()
+
+    def test_max_supersteps_guard(self):
+        from helpers import line_graph
+
+        class Forever(VertexProgram):
+            def compute(self, v):
+                pass  # never halts
+
+        engine = ChannelEngine(
+            line_graph(6), Forever, num_workers=2, executor="process"
+        )
+        with pytest.raises(RuntimeError, match="max_supersteps"):
+            engine.run(max_supersteps=3)
+
+
+class _DieAtSuperstep2(VertexProgram):
+    """Worker 1's process exits hard at superstep 2 — an OOM-kill/segfault
+    stand-in.  Everyone keeps one ScatterCombine busy so the death happens
+    mid-protocol, with peers blocked on its frames."""
+
+    def __init__(self, worker):
+        super().__init__(worker)
+        self.msg = ScatterCombine(worker, SUM_F64)
+
+    def compute(self, v):
+        if self.step_num == 1 and v.out_degree > 0:
+            self.msg.add_edges(v, v.edges)
+        if self.step_num == 2 and self.worker.worker_id == 1:
+            os._exit(3)
+        if self.step_num >= 4:
+            v.vote_to_halt()
+        self.msg.set_message(v, 1.0)
+
+
+class _RaiseAtSuperstep2(VertexProgram):
+    def compute(self, v):
+        if self.step_num == 2 and self.worker.worker_id == 1:
+            raise ValueError("deliberate child failure")
+        if self.step_num >= 4:
+            v.vote_to_halt()
+
+
+class TestCrashHandling:
+    def test_worker_process_death_surfaces_cleanly(self, directed_graph):
+        engine = ChannelEngine(
+            directed_graph, _DieAtSuperstep2, num_workers=4, executor="process"
+        )
+        with pytest.raises(WorkerProcessError, match=r"worker process 1 died"):
+            engine.run()
+
+    def test_child_exception_carries_traceback(self, directed_graph):
+        engine = ChannelEngine(
+            directed_graph, _RaiseAtSuperstep2, num_workers=4, executor="process"
+        )
+        with pytest.raises(WorkerProcessError, match="deliberate child failure"):
+            engine.run()

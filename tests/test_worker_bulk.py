@@ -201,8 +201,11 @@ class TestEngineResultErgonomics:
         assert result.supersteps == m.supersteps > 0
 
     def test_defaults_without_metrics(self):
+        # metrics disabled is *not* the same observation as "no traffic":
+        # the totals must come back None, never a vacuous 0 that would
+        # make two unmeasured runs compare as byte-identical
         empty = EngineResult()
-        assert empty.total_net_bytes == 0
-        assert empty.total_messages == 0
-        assert empty.simulated_time == 0.0
-        assert empty.supersteps == 0
+        assert empty.total_net_bytes is None
+        assert empty.total_messages is None
+        assert empty.simulated_time is None
+        assert empty.supersteps is None
