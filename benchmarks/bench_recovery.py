@@ -69,16 +69,25 @@ def bench_workload(
     num_workers: int,
     checkpoint_every: int,
     fails: list[tuple[int, int]] | None,
+    executor: str = "sim",
 ) -> list[dict]:
     runner = WORKLOADS[name]
+    # the failure-free reference stays on the simulator: recovered runs on
+    # *any* backend must reproduce it bit for bit
     baseline = runner(graph, num_workers=num_workers)
     base_time = baseline[-1].metrics.simulated_time
 
-    ckpt = runner(graph, num_workers=num_workers, checkpoint_every=checkpoint_every)
+    ckpt = runner(
+        graph,
+        num_workers=num_workers,
+        checkpoint_every=checkpoint_every,
+        executor=executor,
+    )
     cm = ckpt[-1].metrics
     rows = [
         {
             "workload": name,
+            "executor": executor,
             "mode": "checkpoint-only",
             "fail_at": None,
             "supersteps": baseline[-1].metrics.supersteps,
@@ -115,11 +124,13 @@ def bench_workload(
                 checkpoint_every=checkpoint_every,
                 failures=[(worker, superstep)],
                 recovery=mode,
+                executor=executor,
             )
             m = out[-1].metrics
             rows.append(
                 {
                     "workload": name,
+                    "executor": executor,
                     "mode": mode,
                     "fail_at": f"{worker}:{superstep}",
                     "supersteps": out[-1].metrics.supersteps,
@@ -140,6 +151,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", default="facebook")
     parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument(
+        "--executor",
+        choices=["sim", "process"],
+        default="sim",
+        help="execution backend for the checkpointed/failing runs; with "
+        "'process' the injected failure kills a real worker OS process "
+        "and recovery restores a respawned replacement (the baseline "
+        "stays simulated either way)",
+    )
     parser.add_argument("--checkpoint-every", type=int, default=2)
     parser.add_argument(
         "--fail",
@@ -176,7 +196,14 @@ def main(argv=None) -> int:
     rows: list[dict] = []
     vacuous: list[str] = []
     for name in args.workloads:
-        wrows = bench_workload(name, graph, args.workers, args.checkpoint_every, fails)
+        wrows = bench_workload(
+            name,
+            graph,
+            args.workers,
+            args.checkpoint_every,
+            fails,
+            executor=args.executor,
+        )
         if not any(r["mode"] in ("rollback", "confined") for r in wrows):
             vacuous.append(name)
         rows.extend(wrows)
@@ -186,7 +213,8 @@ def main(argv=None) -> int:
             rows,
             title=(
                 f"fault tolerance ({args.dataset}, {args.workers} workers, "
-                f"checkpoint every {args.checkpoint_every})"
+                f"checkpoint every {args.checkpoint_every}, "
+                f"{args.executor} executor)"
             ),
             cols=list(rows[0]),
         )
@@ -198,6 +226,7 @@ def main(argv=None) -> int:
         dataset=args.dataset,
         workers=args.workers,
         checkpoint_every=args.checkpoint_every,
+        executor=args.executor,
     )
 
     broken = [f"{r['workload']}/{r['mode']}@{r['fail_at']}" for r in rows if not r["identical"]]

@@ -54,6 +54,7 @@ def bench_cell(
     epochs: int,
     iterations: int,
     seed: int,
+    executor: str = "sim",
 ) -> dict:
     m = graph.num_input_edges
     k = max(1, int(round(frac * m)))
@@ -70,6 +71,7 @@ def bench_cell(
             num_workers=num_workers,
             refresh=mode,
             partition=partition,
+            executor=executor,
         )
         for mode in ("incremental", "full")
     }
@@ -98,9 +100,13 @@ def bench_cell(
         )
         affected += results["incremental"].affected
 
+    for eng in engines.values():
+        eng.close()
+
     n_epochs = len(batches)
     return {
         "algorithm": name,
+        "executor": executor,
         "delta_frac": frac,
         "batch_edges": ins + dele,
         "epochs": n_epochs,
@@ -123,6 +129,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", default="stream-road")
     parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument(
+        "--executor",
+        choices=["sim", "process"],
+        default="sim",
+        help="execution backend for every epoch (process epochs share one "
+        "persistent worker pool per engine)",
+    )
     parser.add_argument("--epochs", type=int, default=3)
     parser.add_argument(
         "--iterations", type=int, default=10, help="PageRank iterations"
@@ -161,6 +174,7 @@ def main(argv=None) -> int:
                     args.epochs,
                     args.iterations,
                     args.seed,
+                    executor=args.executor,
                 )
             )
     print(
@@ -168,7 +182,8 @@ def main(argv=None) -> int:
             rows,
             title=(
                 f"incremental vs cold refresh ({args.dataset}, "
-                f"{args.workers} workers, {args.epochs} epochs/cell)"
+                f"{args.workers} workers, {args.epochs} epochs/cell, "
+                f"{args.executor} executor)"
             ),
             cols=list(rows[0]),
         )
@@ -180,6 +195,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         epochs=args.epochs,
         seed=args.seed,
+        executor=args.executor,
     )
 
     broken = [

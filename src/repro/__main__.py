@@ -8,8 +8,10 @@ Examples::
     python -m repro run wcc --graph my_edges.txt --variant prop --partition metis
     python -m repro run wcc --dataset tree --checkpoint-every 2 --fail 1:3 \\
         --recovery confined
+    python -m repro run wcc --dataset tree --executor process \\
+        --checkpoint-every 2 --fail 1:3 --recovery confined
     python -m repro stream pagerank --dataset stream-road --updates u.txt \\
-        --epoch-size 200 --refresh incremental
+        --epoch-size 200 --refresh incremental --executor process
     python -m repro datasets
     python -m repro tables 6
 """
@@ -24,7 +26,7 @@ import numpy as np
 
 from repro.bench.datasets import DATASETS, EXTRA_DATASETS, load_dataset, table3_rows
 from repro.bench.runner import CELLS
-from repro.core.recovery import FailureSchedule
+from repro.core.engine import ChannelEngine
 from repro.graph.io import load_edgelist
 from repro.graph.partition import metis_like_partition, range_partition
 
@@ -81,7 +83,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default="sim",
         help="execution backend: in-process simulation (sim) or one OS "
         "process per worker over shared memory (process); results and "
-        "traffic totals are bit-identical",
+        "traffic totals are bit-identical, and checkpointing/failure "
+        "injection work on both",
     )
     run.add_argument(
         "--partition",
@@ -149,6 +152,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--workers", type=int, default=8)
     stream.add_argument(
+        "--executor",
+        choices=["sim", "process"],
+        default="sim",
+        help="execution backend for every epoch's refresh run; process "
+        "epochs share one persistent worker pool (processes spawn once, "
+        "then receive each epoch's graph/program as control messages)",
+    )
+    stream.add_argument(
         "--iterations", type=int, default=10, help="PageRank iterations"
     )
     stream.add_argument("--source", type=int, default=0, help="SSSP source")
@@ -196,12 +207,18 @@ def _cmd_run(args) -> int:
         )
         return 2
     partition = "metis" if args.partitioned else args.partition
-    if args.executor == "process" and (args.checkpoint_every is not None or args.fail):
-        print(
-            "--executor process does not support --checkpoint-every/--fail "
-            "(fault tolerance runs on the simulated backend)",
-            file=sys.stderr,
+    # backend/fault-tolerance option validation lives in the engine, the
+    # single source of truth — the CLI only translates the ValueError
+    try:
+        schedule = ChannelEngine.validate_options(
+            executor=args.executor,
+            checkpoint_every=args.checkpoint_every,
+            failures=args.fail or None,
+            recovery=args.recovery,
+            num_workers=args.workers,
         )
+    except ValueError as exc:
+        print(f"bad run options: {exc}", file=sys.stderr)
         return 2
     kwargs = {"num_workers": args.workers, "executor": args.executor}
     if partition == "metis":
@@ -209,16 +226,8 @@ def _cmd_run(args) -> int:
     elif partition == "range":
         kwargs["partition"] = range_partition(graph.num_vertices, args.workers)
     if args.checkpoint_every is not None:
-        if args.checkpoint_every < 1:
-            print("--checkpoint-every must be >= 1", file=sys.stderr)
-            return 2
         kwargs["checkpoint_every"] = args.checkpoint_every
-    if args.fail:
-        try:
-            schedule = FailureSchedule.from_specs(args.fail, args.workers)
-        except ValueError as exc:
-            print(f"bad --fail schedule: {exc}", file=sys.stderr)
-            return 2
+    if schedule is not None:
         kwargs["failures"] = schedule
         kwargs["recovery"] = args.recovery
 
@@ -278,13 +287,16 @@ def _cmd_stream(args) -> int:
         num_workers=args.workers,
         refresh=args.refresh,
         compact_threshold=args.compact_threshold,
+        executor=args.executor,
     )
-    engine.bootstrap()
     try:
+        engine.bootstrap()
         epochs = engine.run(batches)
     except ValueError as exc:
         print(f"stream application failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        engine.close()
 
     rows = [engine.history[0].summary()] + [e.summary() for e in epochs]
     if args.json:

@@ -30,7 +30,7 @@ from repro.core.combiner import (
 from repro.core.adjacency import LocalCSR
 from repro.core.vertex import Vertex
 from repro.core.channel import Channel
-from repro.core.program import VertexProgram, BulkVertexProgram
+from repro.core.program import VertexProgram, BulkVertexProgram, ProgramSpec
 from repro.core.worker import Worker
 from repro.core.engine import ChannelEngine, EngineResult
 from repro.core.recovery import FailureSchedule, FrameLog
@@ -58,6 +58,7 @@ __all__ = [
     "Channel",
     "VertexProgram",
     "BulkVertexProgram",
+    "ProgramSpec",
     "LocalCSR",
     "Worker",
     "ChannelEngine",

@@ -2,8 +2,18 @@
 
 The engine creates one :class:`~repro.core.worker.Worker` per partition
 block, instantiates the user's :class:`~repro.core.program.VertexProgram`
-on each, and then alternates vertex compute with channel exchange rounds
-until every vertex has voted to halt and no channel requests another round.
+on each, and then hands the run to a pluggable
+:class:`~repro.runtime.executor.ExecutorBackend` that alternates vertex
+compute with channel exchange rounds until every vertex has voted to halt
+and no channel requests another round.
+
+Two backends exist (see ARCHITECTURE.md §8): ``"sim"`` runs every worker
+sequentially in-process with modeled parallelism, ``"process"`` runs each
+worker as a real OS process from a persistent
+:class:`~repro.runtime.parallel.pool.WorkerPool`.  Every feature —
+checkpointing, failure injection, both recovery modes, bulk compute,
+streaming epochs — composes with every backend, with bit-identical
+result data, per-channel traffic, and byte/message totals.
 
 Both compute time (max over workers, i.e. parallel makespan) and modeled
 network time are accumulated into the run's
@@ -12,24 +22,16 @@ network time are accumulated into the run's
 
 from __future__ import annotations
 
-import time
-import warnings
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from repro.core.recovery import (
-    FailureSchedule,
-    FrameLog,
-    confined_recovery,
-    rollback_recovery,
-)
+from repro.core.recovery import FailureSchedule, FrameLog
 from repro.core.worker import Worker
 from repro.graph.graph import Graph
 from repro.graph.partition import hash_partition
-from repro.runtime.buffers import BufferExchange
-from repro.runtime.checkpoint import capture_snapshot
 from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
 from repro.runtime.metrics import MetricsCollector
 
@@ -40,6 +42,11 @@ RECOVERY_MODES = ("rollback", "confined")
 
 #: recognised execution backends
 EXECUTORS = ("sim", "process")
+
+#: engine configuration generations, for worker-pool reuse: a pool knows
+#: which engine's configuration its worker processes currently hold and
+#: reconfigures only when a *different* engine runs on it
+_GENERATIONS = itertools.count(1)
 
 
 @dataclass
@@ -125,8 +132,11 @@ class ChannelEngine:
         with modeled parallelism; ``"process"`` runs each worker as a
         real OS process over shared memory and pipes
         (:mod:`repro.runtime.parallel`) with bit-identical data,
-        per-channel traffic, and byte/message totals.  Fault tolerance
-        (``checkpoint_every``/``failures``) currently requires ``"sim"``.
+        per-channel traffic, and byte/message totals.  Both backends
+        support checkpointing, failure injection, and both recovery
+        modes; on the process backend an injected failure really kills
+        the worker's OS process and recovery restores a respawned
+        replacement through the checkpoint wire format.
     sync_state:
         Process executor only: when ``True``, each worker ships its
         end-of-run state (program state dict, halt/wake flags, channel
@@ -134,6 +144,15 @@ class ChannelEngine:
         engine loads it into its own workers, so post-run introspection
         of ``engine.workers`` behaves as after a simulated run.  Off by
         default — result data always comes back regardless.
+    pool:
+        Process executor only: an existing
+        :class:`~repro.runtime.parallel.pool.WorkerPool` to run on
+        instead of an engine-owned one.  The pool's persistent worker
+        processes are *reconfigured* for this engine (delta/remap
+        control messages), never respawned — this is how the streaming
+        :class:`~repro.streaming.epoch.EpochEngine` amortizes process
+        startup across epochs.  The caller keeps ownership: the engine
+        never shuts an externally provided pool down.
     """
 
     def __init__(
@@ -149,14 +168,24 @@ class ChannelEngine:
         initial_active: np.ndarray | None = None,
         executor: str = "sim",
         sync_state: bool = False,
+        pool=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
-        if executor not in EXECUTORS:
-            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        self.validate_options(executor=executor, recovery=recovery)
+        if pool is not None:
+            if executor != "process":
+                raise ValueError("pool= only applies to executor='process'")
+            if pool.num_workers != num_workers:
+                raise ValueError(
+                    f"pool has {pool.num_workers} workers, engine wants "
+                    f"{num_workers}"
+                )
         self.executor = executor
         self.sync_state = bool(sync_state)
-        self._process_ran = False  # process-executor engines are single-run
+        self.pool = pool
+        self.generation = next(_GENERATIONS)
+        self._backend = None
         self.graph = graph
         self.num_workers = num_workers
         self.program_factory = program_factory
@@ -200,7 +229,57 @@ class ChannelEngine:
                 "programs must construct the same channels on every worker"
             )
         self.num_channels = nchan.pop()
-        self._exchange = BufferExchange(self.metrics)
+
+    # -- option validation (single source of truth; the CLI calls this too) --
+    @staticmethod
+    def validate_options(
+        *,
+        executor: str = "sim",
+        checkpoint_every: int | None = None,
+        failures=None,
+        recovery: str = "rollback",
+        num_workers: int | None = None,
+    ) -> FailureSchedule | None:
+        """Validate a backend/fault-tolerance option combination in one
+        place, coercing ``failures`` into a
+        :class:`~repro.core.recovery.FailureSchedule` on the way.
+
+        Every feature composes with every backend, so what's checked is
+        each option's own domain: a known executor, a known recovery
+        mode, a positive checkpoint interval, and a failure schedule that
+        names only existing workers (when ``num_workers`` is given) and
+        leaves at least one survivor.  Raises ``ValueError`` with a
+        user-facing message; used by the engine itself and by the CLI,
+        so the two can never disagree.
+        """
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_MODES}, got {recovery!r}"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        schedule = FailureSchedule.coerce(failures)
+        if schedule is not None and num_workers is not None:
+            schedule.validate(num_workers)
+        return schedule
+
+    # -- backend resolution --------------------------------------------------
+    @property
+    def backend(self):
+        """This engine's :class:`~repro.runtime.executor.ExecutorBackend`
+        (created on first use, then reused across :meth:`run` calls)."""
+        if self._backend is None:
+            if self.executor == "process":
+                from repro.runtime.parallel.backend import ProcessBackend
+
+                self._backend = ProcessBackend(self, pool=self.pool)
+            else:
+                from repro.runtime.executor import SimBackend
+
+                self._backend = SimBackend(self)
+        return self._backend
 
     # -- main loop ---------------------------------------------------------
     def run(
@@ -214,192 +293,40 @@ class ChannelEngine:
         constructor's defaults for this run (see the class docstring)."""
         if checkpoint_every is None:
             checkpoint_every = self.checkpoint_every
-        if checkpoint_every is not None and checkpoint_every < 1:
-            raise ValueError("checkpoint_every must be >= 1")
-        failures = (
-            FailureSchedule.coerce(failures) if failures is not None else self.failures
+        failures = failures if failures is not None else self.failures
+        recovery = recovery if recovery is not None else self.recovery
+        failures = self.validate_options(
+            executor=self.executor,
+            checkpoint_every=checkpoint_every,
+            failures=failures,
+            recovery=recovery,
+            num_workers=self.num_workers,
         )
         if failures is not None:
             # pop() consumes events; work on a per-run copy so the same
             # schedule can drive several runs (e.g. rollback vs confined)
             failures = failures.copy()
-        recovery = recovery if recovery is not None else self.recovery
-        if recovery not in RECOVERY_MODES:
-            raise ValueError(f"recovery must be one of {RECOVERY_MODES}, got {recovery!r}")
-        if failures is not None:
-            failures.validate(self.num_workers)
-        fault_tolerant = checkpoint_every is not None or bool(failures)
-
-        if self.executor == "process":
-            if fault_tolerant:
-                raise ValueError(
-                    "checkpointing/failure injection requires executor='sim'; "
-                    "the process backend does not support fault tolerance yet"
-                )
-            if self._process_ran:
-                # a second sim run() is a no-op (every worker is halted);
-                # worker processes would instead be rebuilt from the
-                # factory and silently re-execute the whole program —
-                # refuse rather than diverge from the sim contract
-                raise RuntimeError(
-                    "this engine already ran with executor='process'; "
-                    "construct a new ChannelEngine to run again"
-                )
-            self._process_ran = True
-            from repro.runtime.parallel.backend import ProcessBackend
-
-            return ProcessBackend(self).run(max_supersteps=max_supersteps)
-
-        self.frame_log = (
-            FrameLog(self.num_workers)
-            if bool(failures) and recovery == "confined"
-            else None
+        return self.backend.run(
+            max_supersteps=max_supersteps,
+            checkpoint_every=checkpoint_every,
+            failures=failures,
+            recovery=recovery,
         )
 
-        metrics = self.metrics
-        metrics.start_run()
+    def close(self) -> None:
+        """Release backend resources now.
 
-        for worker in self.workers:
-            for channel in worker.channels:
-                channel.initialize()
-
-        if fault_tolerant:
-            # superstep-0 checkpoint: recovery is possible before the
-            # first periodic checkpoint is due
-            self._take_checkpoint()
-
-        while True:
-            # phase controllers may wake vertices for the upcoming superstep
-            for worker in self.workers:
-                worker.program.before_superstep()
-            active_sets = [w.begin_superstep() for w in self.workers]
-            total_active = sum(a.size for a in active_sets)
-            if total_active == 0:
-                break
-            self.step_num += 1
-            if self.step_num > max_supersteps:
-                raise RuntimeError(
-                    f"exceeded max_supersteps={max_supersteps}; "
-                    "the program may not terminate"
-                )
-            metrics.start_superstep(total_active)
-
-            # 1. vertex compute (parallel across workers -> charge max);
-            # each worker dispatches scalar (per-vertex) or bulk
-            # (whole-active-set) per its program's is_bulk flag
-            for worker, active in zip(self.workers, active_sets):
-                t0 = time.perf_counter()
-                worker.run_compute(active)
-                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
-
-            # 2. channel exchange rounds
-            self._exchange_phase()
-            metrics.end_superstep()
-
-            # 3. superstep boundary: checkpoint, then inject failures
-            if fault_tolerant:
-                if checkpoint_every is not None and self.step_num % checkpoint_every == 0:
-                    self._take_checkpoint()
-                doomed = failures.pop(self.step_num) if failures else []
-                if doomed:
-                    metrics.record_failure(len(doomed))
-                    if recovery == "confined":
-                        confined_recovery(self, doomed)
-                    else:
-                        rollback_recovery(self, doomed)
-
-        if failures and failures.pending():
-            # warn, don't raise: the results are still valid (nothing was
-            # injected), but anyone measuring recovery must find out that
-            # they actually measured a failure-free run
-            warnings.warn(
-                f"failure schedule events never fired — the run ended after "
-                f"{self.step_num} supersteps: {failures.pending()}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-
-        metrics.end_run()
-
-        result = EngineResult(metrics=metrics)
-        for worker in self.workers:
-            result.data.update(worker.program.finalize())
-        return result
-
-    def _exchange_phase(self) -> None:
-        metrics = self.metrics
-        for worker in self.workers:
-            for channel in worker.channels:
-                channel.reset_round()
-
-        group_active = [True] * self.num_channels
-        step_log: list[tuple[list[bool], list[list[bytes]]]] | None = (
-            [] if self.frame_log is not None else None
-        )
-
-        while any(group_active):
-            # serialize
-            wrote = False
-            for worker in self.workers:
-                t0 = time.perf_counter()
-                for cid, channel in enumerate(worker.channels):
-                    if group_active[cid]:
-                        channel.serialize()
-                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
-                net, local = worker.buffers.out_nbytes()
-                wrote = wrote or net > 0 or local > 0
-
-            if not wrote and not any(group_active):  # pragma: no cover
-                break
-
-            if step_log is not None:
-                # sender-side frame log for confined recovery: every
-                # cross-worker buffer of this round, captured pre-exchange
-                frames = [
-                    [
-                        b""
-                        if peer == worker.worker_id
-                        else worker.buffers.out[peer].getvalue()
-                        for peer in range(self.num_workers)
-                    ]
-                    for worker in self.workers
-                ]
-                step_log.append((list(group_active), frames))
-                metrics.record_log_bytes(
-                    sum(len(buf) for row in frames for buf in row)
-                )
-
-            # pairwise exchange (accounted by the cost model)
-            self._exchange.exchange([w.buffers for w in self.workers])
-
-            # deserialize + decide on another round
-            next_active = [False] * self.num_channels
-            for worker in self.workers:
-                t0 = time.perf_counter()
-                routed = worker.route_inbox()
-                for cid, channel in enumerate(worker.channels):
-                    if group_active[cid]:
-                        channel.deserialize(routed.get(cid, []))
-                        if channel.again():
-                            next_active[cid] = True
-                    elif cid in routed:  # pragma: no cover - defensive
-                        raise RuntimeError(
-                            f"data arrived for inactive channel {cid}"
-                        )
-                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
-            group_active = next_active
-
-        if step_log is not None:
-            self.frame_log.append_step(self.step_num, step_log)
-
-    # -- fault tolerance -----------------------------------------------------
-    def _take_checkpoint(self) -> None:
-        snapshot = capture_snapshot(self)
-        self.checkpoint = snapshot
-        self.metrics.record_checkpoint(snapshot.worker_nbytes)
-        if self.frame_log is not None:
-            # frames covered by this checkpoint can never be replayed
-            self.frame_log.truncate_before(snapshot.superstep)
+        Only meaningful for ``executor="process"`` with an engine-owned
+        pool: the worker processes, pipes, and shared-memory segments are
+        shut down immediately instead of waiting for the engine to be
+        garbage collected (the engine↔backend reference cycle means
+        cleanup otherwise happens at the next *cyclic* GC pass, not on
+        the last ``del``) or for interpreter exit.  Idempotent; a closed
+        engine can no longer ``run()``.  Externally provided pools are
+        the caller's to shut down and are left alone.
+        """
+        if self._backend is not None:
+            self._backend.shutdown()
 
     def rebuild_worker(self, w: int) -> None:
         """Replace worker ``w`` with a fresh instance (simulating a

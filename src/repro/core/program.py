@@ -34,7 +34,45 @@ if TYPE_CHECKING:  # pragma: no cover
 #: state value types the generic ``state_dict`` captures besides arrays
 _SCALAR_STATE = (bool, int, float, str, bytes, np.bool_, np.integer, np.floating)
 
-__all__ = ["VertexProgram", "BulkVertexProgram"]
+__all__ = ["VertexProgram", "BulkVertexProgram", "ProgramSpec"]
+
+
+class ProgramSpec:
+    """A program factory as *data*: an importable base class plus the
+    class attributes to bake onto a dynamically created subclass.
+
+    ``ProgramSpec(Base, {"warm": arr})(worker)`` behaves exactly like
+    ``type("Base", (Base,), {"warm": arr})(worker)`` — the streaming
+    planners used the latter to parameterize refresh programs with
+    per-epoch schedules — but unlike an anonymous ``type(...)`` product,
+    a spec survives ``pickle``: the base travels by reference (it must
+    be importable) and the attributes by value.  That is what lets a
+    persistent worker pool receive *next epoch's program* over a control
+    pipe instead of being respawned around a new in-memory class
+    (:meth:`repro.runtime.parallel.pool.WorkerPool.reconfigure`).
+
+    The attribute dict is deliberately shared, not copied: every worker's
+    subclass sees the same array objects, exactly as class attributes on
+    one shared dynamic class would (each *process* still gets its own
+    copy through pickling, as with any cross-process state).
+    """
+
+    __slots__ = ("base", "attrs", "name")
+
+    def __init__(self, base: type, attrs: dict | None = None, name: str | None = None):
+        self.base = base
+        self.attrs = dict(attrs) if attrs else {}
+        self.name = name or base.__name__
+
+    def __call__(self, worker: "Worker"):
+        cls = type(self.name, (self.base,), self.attrs)
+        return cls(worker)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProgramSpec({self.base.__module__}.{self.base.__qualname__}, "
+            f"attrs={sorted(self.attrs)})"
+        )
 
 
 def _capturable(value) -> bool:

@@ -1,9 +1,9 @@
 """Failure injection and recovery for the channel engine.
 
 Pregel-family systems answer "what happens when a worker dies mid-job?"
-with checkpoint-and-rollback; this module reproduces that subsystem for
-the simulator, with deterministic failure injection so recovery is a
-benchmarkable *scenario axis* rather than an accident:
+with checkpoint-and-rollback; this module reproduces that subsystem,
+with deterministic failure injection so recovery is a benchmarkable
+*scenario axis* rather than an accident:
 
 * :class:`FailureSchedule` — "worker 3 dies at the end of superstep 7",
   given explicitly or drawn from a seeded RNG.  Failures fire exactly
@@ -27,6 +27,13 @@ failure-free run would: rollback restores the collector to its
 checkpoint-time snapshot before re-execution re-appends, and confined
 replay runs against a scratch collector.  The *cost* of recovery is
 charged to the separate ``recovery_bytes``/``recovery_time`` counters.
+
+Both procedures operate on the engine's in-process workers and run under
+**every** execution backend: the simulator calls them directly, while
+the process backend first kills/respawns the real worker OS process,
+then runs the same procedure on its parent-side mirror workers and ships
+the recovered state to the replacement through the checkpoint wire
+format (see :mod:`repro.runtime.parallel.backend`).
 """
 
 from __future__ import annotations

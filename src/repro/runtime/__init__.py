@@ -1,12 +1,14 @@
-"""Simulated distributed substrate.
+"""Execution substrate: simulated cluster, process backend, accounting.
 
-This package replaces the paper's 8-node EC2 cluster with an in-process
-multi-worker simulator.  Messages are serialized into real byte buffers
-(:mod:`repro.runtime.serialization`), exchanged pairwise between workers
-(:mod:`repro.runtime.buffers`), and accounted both in bytes and in
-simulated time through a simple network cost model
-(:mod:`repro.runtime.costmodel`).  All experiment metrics are gathered by
-:class:`repro.runtime.metrics.MetricsCollector`.
+This package replaces the paper's 8-node EC2 cluster.  Messages are
+serialized into real byte buffers (:mod:`repro.runtime.serialization`),
+exchanged between workers (:mod:`repro.runtime.buffers` in-process, or
+:mod:`repro.runtime.parallel` across real worker processes), and
+accounted both in bytes and in simulated time through a simple network
+cost model (:mod:`repro.runtime.costmodel`).  The superstep drive loop
+itself lives behind the pluggable
+:class:`repro.runtime.executor.ExecutorBackend` seam.  All experiment
+metrics are gathered by :class:`repro.runtime.metrics.MetricsCollector`.
 """
 
 from repro.runtime.serialization import (
@@ -29,6 +31,7 @@ from repro.runtime.checkpoint import (
     encode_state,
 )
 from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
+from repro.runtime.executor import ExecutorBackend, SimBackend
 from repro.runtime.metrics import MetricsCollector, SuperstepRecord
 
 __all__ = [
@@ -50,6 +53,8 @@ __all__ = [
     "decode_state",
     "NetworkModel",
     "DEFAULT_NETWORK",
+    "ExecutorBackend",
+    "SimBackend",
     "MetricsCollector",
     "SuperstepRecord",
 ]

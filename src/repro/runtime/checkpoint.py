@@ -43,6 +43,8 @@ __all__ = [
     "encode_state",
     "decode_state",
     "Snapshot",
+    "capture_worker_state",
+    "load_worker_state",
     "capture_snapshot",
     "restore_worker",
 ]
@@ -199,16 +201,37 @@ class Snapshot:
         return sum(len(b) for b in self.blobs)
 
 
+def capture_worker_state(worker) -> dict:
+    """One worker's complete restartable state at a superstep boundary:
+    program state dict, halt/wake flags, and every channel's
+    ``snapshot()``.  This is *the* capture format — checkpoints, the
+    process backend's state sync, and cross-process recovery all ship
+    exactly this dict through :func:`encode_state`."""
+    return {
+        "program": worker.program.state_dict(),
+        "flags": worker.snapshot_flags(),
+        "channels": [channel.snapshot() for channel in worker.channels],
+    }
+
+
+def load_worker_state(worker, state: dict) -> None:
+    """Inverse of :func:`capture_worker_state` (the worker must expose the
+    same channel set the state was captured from)."""
+    worker.program.load_state_dict(state["program"])
+    worker.restore_flags(state["flags"])
+    channels = worker.channels
+    if len(channels) != len(state["channels"]):
+        raise ValueError(
+            f"state has {len(state['channels'])} channels but worker "
+            f"{worker.worker_id} constructed {len(channels)}"
+        )
+    for channel, channel_state in zip(channels, state["channels"]):
+        channel.restore(channel_state)
+
+
 def capture_snapshot(engine: "ChannelEngine") -> Snapshot:
     """Checkpoint every worker of ``engine`` at the current boundary."""
-    blobs = []
-    for worker in engine.workers:
-        state = {
-            "program": worker.program.state_dict(),
-            "flags": worker.snapshot_flags(),
-            "channels": [channel.snapshot() for channel in worker.channels],
-        }
-        blobs.append(encode_state(state))
+    blobs = [encode_state(capture_worker_state(w)) for w in engine.workers]
     return Snapshot(
         version=SNAPSHOT_VERSION,
         superstep=engine.step_num,
@@ -225,15 +248,4 @@ def restore_worker(engine: "ChannelEngine", snapshot: Snapshot, w: int) -> None:
     (see :meth:`ChannelEngine.rebuild_worker`); either way all state
     comes from the snapshot bytes, never from the old objects.
     """
-    worker = engine.workers[w]
-    state = decode_state(snapshot.blobs[w])
-    worker.program.load_state_dict(state["program"])
-    worker.restore_flags(state["flags"])
-    channels = worker.channels
-    if len(channels) != len(state["channels"]):
-        raise ValueError(
-            f"snapshot has {len(state['channels'])} channels but worker "
-            f"{w} constructed {len(channels)}"
-        )
-    for channel, channel_state in zip(channels, state["channels"]):
-        channel.restore(channel_state)
+    load_worker_state(engine.workers[w], decode_state(snapshot.blobs[w]))

@@ -1,0 +1,317 @@
+"""The pluggable execution-backend seam (ARCHITECTURE.md §8).
+
+The paper's channel engine is *one* abstraction with many possible
+execution strategies; this module makes that literal.
+:class:`ExecutorBackend` owns the superstep drive loop of Fig. 4 —
+barrier votes, compute dispatch, exchange rounds, checkpoint cadence,
+failure injection, recovery dispatch, result collection — as a template
+method (:meth:`ExecutorBackend.run`) over a small set of primitives each
+backend implements:
+
+``begin_run``
+    Bring the execution substrate up (channel initialization; for the
+    process backend also pool spawn/reconfigure).
+``barrier_vote``
+    Resolve every worker's active set for the next superstep and return
+    the global active count (0 terminates the run).
+``compute_phase`` / ``exchange_phase``
+    One superstep's vertex compute and channel exchange rounds.  The
+    exchange phase maintains the sender-side frame log when confined
+    recovery is armed.
+``capture_state_blobs``
+    Per-worker serialized state in the checkpoint capture format
+    (:func:`repro.runtime.checkpoint.capture_worker_state`).
+``recover``
+    React to injected worker deaths with the requested recovery mode.
+``collect_results``
+    Merge per-worker ``finalize()`` outputs after termination.
+
+Because checkpoint cadence, failure timing, frame-log bookkeeping, and
+termination live in the shared template, every fault-tolerance and
+streaming feature composes with every backend by construction — the
+fault-tolerant superstep choreography cannot drift between them.
+
+Two implementations exist: :class:`SimBackend` here (the in-process
+simulated cluster, lifted verbatim out of the old
+``ChannelEngine._run``) and
+:class:`~repro.runtime.parallel.backend.ProcessBackend` (one OS process
+per worker over a persistent :class:`~repro.runtime.parallel.pool.WorkerPool`).
+Both produce bit-identical result data, per-channel traffic, and
+byte/message totals for the same program.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import TYPE_CHECKING
+
+from repro.core.recovery import (
+    FailureSchedule,
+    FrameLog,
+    confined_recovery,
+    rollback_recovery,
+)
+from repro.runtime.buffers import BufferExchange
+from repro.runtime.checkpoint import (
+    SNAPSHOT_VERSION,
+    Snapshot,
+    capture_worker_state,
+    encode_state,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import ChannelEngine, EngineResult
+
+__all__ = ["ExecutorBackend", "SimBackend"]
+
+
+class ExecutorBackend:
+    """Drives one engine's program to termination (template method).
+
+    A backend instance is owned by its :class:`ChannelEngine` and lives
+    as long as the engine does — it may be asked to :meth:`run` more
+    than once (a second run over an all-halted program is a no-op that
+    returns the same results on every backend).
+    """
+
+    #: the engine's ``executor=`` name for this backend
+    name = "?"
+
+    def __init__(self, engine: "ChannelEngine") -> None:
+        self.engine = engine
+
+    # -- the drive loop (shared across backends) ---------------------------
+    def run(
+        self,
+        max_supersteps: int = 100_000,
+        checkpoint_every: int | None = None,
+        failures: FailureSchedule | None = None,
+        recovery: str = "rollback",
+    ) -> "EngineResult":
+        """Run to termination.  Arguments arrive validated and coerced by
+        :meth:`ChannelEngine.run` (the single validation point)."""
+        from repro.core.engine import EngineResult
+
+        engine = self.engine
+        metrics = engine.metrics
+        fault_tolerant = checkpoint_every is not None or bool(failures)
+
+        engine.frame_log = (
+            FrameLog(engine.num_workers)
+            if bool(failures) and recovery == "confined"
+            else None
+        )
+
+        metrics.start_run()
+        self.begin_run(fault_tolerant)
+
+        if fault_tolerant:
+            # superstep-0 checkpoint: recovery is possible before the
+            # first periodic checkpoint is due
+            self.take_checkpoint()
+
+        while True:
+            total_active = self.barrier_vote()
+            if total_active == 0:
+                break
+            engine.step_num += 1
+            if engine.step_num > max_supersteps:
+                raise RuntimeError(
+                    f"exceeded max_supersteps={max_supersteps}; "
+                    "the program may not terminate"
+                )
+            metrics.start_superstep(total_active)
+            self.compute_phase()
+            self.exchange_phase()
+            metrics.end_superstep()
+
+            # superstep boundary: checkpoint, then inject failures
+            if fault_tolerant:
+                if (
+                    checkpoint_every is not None
+                    and engine.step_num % checkpoint_every == 0
+                ):
+                    self.take_checkpoint()
+                doomed = failures.pop(engine.step_num) if failures else []
+                if doomed:
+                    metrics.record_failure(len(doomed))
+                    self.recover(doomed, recovery)
+
+        if failures and failures.pending():
+            # warn, don't raise: the results are still valid (nothing was
+            # injected), but anyone measuring recovery must find out that
+            # they actually measured a failure-free run
+            warnings.warn(
+                f"failure schedule events never fired — the run ended after "
+                f"{engine.step_num} supersteps: {failures.pending()}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+        metrics.end_run()
+        result = EngineResult(metrics=metrics)
+        result.data.update(self.collect_results())
+        return result
+
+    # -- shared fault-tolerance choreography --------------------------------
+    def take_checkpoint(self) -> None:
+        """Checkpoint every worker at the current superstep boundary and
+        make it the engine's recovery point."""
+        engine = self.engine
+        snapshot = Snapshot(
+            version=SNAPSHOT_VERSION,
+            superstep=engine.step_num,
+            blobs=self.capture_state_blobs(),
+            metrics_state=engine.metrics.snapshot(),
+        )
+        engine.checkpoint = snapshot
+        engine.metrics.record_checkpoint(snapshot.worker_nbytes)
+        if engine.frame_log is not None:
+            # frames covered by this checkpoint can never be replayed
+            engine.frame_log.truncate_before(snapshot.superstep)
+
+    # -- backend primitives --------------------------------------------------
+    def begin_run(self, fault_tolerant: bool) -> None:
+        raise NotImplementedError
+
+    def barrier_vote(self) -> int:
+        raise NotImplementedError
+
+    def compute_phase(self) -> None:
+        raise NotImplementedError
+
+    def exchange_phase(self) -> None:
+        raise NotImplementedError
+
+    def capture_state_blobs(self) -> list[bytes]:
+        raise NotImplementedError
+
+    def recover(self, doomed: list[int], mode: str) -> None:
+        raise NotImplementedError
+
+    def collect_results(self) -> dict:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent; a no-op for sim)."""
+
+
+class SimBackend(ExecutorBackend):
+    """The in-process simulated cluster: every worker runs sequentially in
+    this process, compute is charged as the max over workers (parallel
+    makespan), and network time comes from the cost model.  This is the
+    reference backend — the process backend's parity matrix is defined
+    against it."""
+
+    name = "sim"
+
+    def __init__(self, engine: "ChannelEngine") -> None:
+        super().__init__(engine)
+        self._exchange = BufferExchange(engine.metrics)
+        self._active_sets: list = []
+
+    # -- primitives ----------------------------------------------------------
+    def begin_run(self, fault_tolerant: bool) -> None:
+        for worker in self.engine.workers:
+            for channel in worker.channels:
+                channel.initialize()
+
+    def barrier_vote(self) -> int:
+        # phase controllers may wake vertices for the upcoming superstep
+        for worker in self.engine.workers:
+            worker.program.before_superstep()
+        self._active_sets = [w.begin_superstep() for w in self.engine.workers]
+        return sum(a.size for a in self._active_sets)
+
+    def compute_phase(self) -> None:
+        # vertex compute (parallel across workers -> charge max); each
+        # worker dispatches scalar (per-vertex) or bulk (whole-active-set)
+        # per its program's is_bulk flag
+        metrics = self.engine.metrics
+        for worker, active in zip(self.engine.workers, self._active_sets):
+            t0 = time.perf_counter()
+            worker.run_compute(active)
+            metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+
+    def exchange_phase(self) -> None:
+        engine = self.engine
+        metrics = engine.metrics
+        for worker in engine.workers:
+            for channel in worker.channels:
+                channel.reset_round()
+
+        group_active = [True] * engine.num_channels
+        step_log: list[tuple[list[bool], list[list[bytes]]]] | None = (
+            [] if engine.frame_log is not None else None
+        )
+
+        while any(group_active):
+            # serialize
+            wrote = False
+            for worker in engine.workers:
+                t0 = time.perf_counter()
+                for cid, channel in enumerate(worker.channels):
+                    if group_active[cid]:
+                        channel.serialize()
+                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+                net, local = worker.buffers.out_nbytes()
+                wrote = wrote or net > 0 or local > 0
+
+            if not wrote and not any(group_active):  # pragma: no cover
+                break
+
+            if step_log is not None:
+                # sender-side frame log for confined recovery: every
+                # cross-worker buffer of this round, captured pre-exchange
+                frames = [
+                    [
+                        b""
+                        if peer == worker.worker_id
+                        else worker.buffers.out[peer].getvalue()
+                        for peer in range(engine.num_workers)
+                    ]
+                    for worker in engine.workers
+                ]
+                step_log.append((list(group_active), frames))
+                metrics.record_log_bytes(
+                    sum(len(buf) for row in frames for buf in row)
+                )
+
+            # pairwise exchange (accounted by the cost model)
+            self._exchange.exchange([w.buffers for w in engine.workers])
+
+            # deserialize + decide on another round
+            next_active = [False] * engine.num_channels
+            for worker in engine.workers:
+                t0 = time.perf_counter()
+                routed = worker.route_inbox()
+                for cid, channel in enumerate(worker.channels):
+                    if group_active[cid]:
+                        channel.deserialize(routed.get(cid, []))
+                        if channel.again():
+                            next_active[cid] = True
+                    elif cid in routed:  # pragma: no cover - defensive
+                        raise RuntimeError(
+                            f"data arrived for inactive channel {cid}"
+                        )
+                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+            group_active = next_active
+
+        if step_log is not None:
+            engine.frame_log.append_step(engine.step_num, step_log)
+
+    def capture_state_blobs(self) -> list[bytes]:
+        return [encode_state(capture_worker_state(w)) for w in self.engine.workers]
+
+    def recover(self, doomed: list[int], mode: str) -> None:
+        if mode == "confined":
+            confined_recovery(self.engine, doomed)
+        else:
+            rollback_recovery(self.engine, doomed)
+
+    def collect_results(self) -> dict:
+        data: dict = {}
+        for worker in self.engine.workers:
+            data.update(worker.program.finalize())
+        return data

@@ -1,241 +1,263 @@
 """Parent-side orchestration of the multiprocess backend.
 
-:class:`ProcessBackend` takes an already-constructed
-:class:`~repro.core.engine.ChannelEngine` and runs its program over real
-OS worker processes instead of the in-process simulation loop:
+:class:`ProcessBackend` implements the
+:class:`~repro.runtime.executor.ExecutorBackend` primitives over real OS
+worker processes drawn from a persistent
+:class:`~repro.runtime.parallel.pool.WorkerPool`:
 
 * **shared state** — the graph's CSR arrays and the partition array are
-  exported once into ``multiprocessing.shared_memory`` and attached
-  read-only by every worker (no per-worker graph copies);
+  exported once per engine configuration into
+  ``multiprocessing.shared_memory`` and attached read-only by every
+  worker (no per-worker graph copies);
 * **barrier protocol** — one duplex control pipe per worker carries
-  ``begin`` / ``compute`` / ``exchange`` / ``finalize`` commands and
-  their replies, reproducing the simulated superstep loop of Fig. 4
-  round for round (the parent is the barrier: no worker starts a phase
-  before every worker finished the previous one);
+  ``begin`` / ``compute`` / ``exchange`` commands and their replies; the
+  shared drive loop in :meth:`ExecutorBackend.run` is the barrier (no
+  worker starts a phase before every worker finished the previous one);
 * **peer-to-peer frames** — per-superstep channel frames travel directly
   between worker processes over dedicated pipes as the exact wire bytes
   the codec layer produced; the parent receives only their byte counts
   and feeds them to the same :meth:`MetricsCollector.record_exchange`
-  the simulator uses.
+  the simulator uses;
+* **fault tolerance for real** — checkpoints are captured worker-side
+  and shipped to the parent as checkpoint-codec wire bytes; an injected
+  failure kills the worker's OS process outright (the parent observes
+  the death through the same supervision that catches genuine crashes),
+  a replacement is respawned onto the surviving frame pipes, and both
+  recovery modes restore it: rollback pushes the latest checkpoint blob
+  to *every* worker, confined replays the lost supersteps from the
+  parent's sender-side frame log and ships only the recovered state to
+  the replacement.
 
 Because compute, serialization, and byte accounting all run the same
 code on the same inputs, a process run's ``result.data``, per-channel
 traffic, and byte/message totals are **bit-identical** to a simulated
-run — the parity matrix in ``tests/test_parallel.py`` enforces this.
-What stays simulated is the cost model: ``simulated_time`` is still
-modeled from byte counts, while ``wall_time`` now reflects genuinely
-parallel execution.
-
-Fault tolerance (checkpointing / failure injection / recovery) is a
-simulator feature; the engine rejects those options for
-``executor="process"`` before this backend is ever constructed.
+run — with or without checkpoints, injected failures, or streaming
+epochs — as enforced by ``tests/test_parallel.py`` and
+``tests/test_executor_backends.py``.  What stays simulated is the cost
+model: ``simulated_time`` is still modeled from byte counts, while
+``wall_time`` reflects genuinely parallel execution.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.runtime.parallel.protocol import (
-    WorkerProcessError,
-    recv_supervised,
-    send_msg,
+from repro.core.recovery import confined_recovery, rollback_recovery
+from repro.runtime.checkpoint import (
+    capture_worker_state,
+    encode_state,
+    load_worker_state,
 )
-from repro.runtime.parallel.shm import SharedArrayExport
-from repro.runtime.parallel.worker_proc import worker_main
+from repro.runtime.executor import ExecutorBackend
+from repro.runtime.parallel.pool import WorkerPool
+from repro.runtime.parallel.protocol import WorkerProcessError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.engine import ChannelEngine, EngineResult
+    from repro.core.engine import ChannelEngine
 
 __all__ = ["ProcessBackend"]
 
 
-def _mp_context():
-    # fork keeps program factories (often closures or dynamically created
-    # classes) out of pickle entirely; spawn is the portable fallback and
-    # requires picklable factories
-    methods = mp.get_all_start_methods()
-    return mp.get_context("fork" if "fork" in methods else "spawn")
+class ProcessBackend(ExecutorBackend):
+    """Runs an engine's program over persistent worker processes."""
 
+    name = "process"
 
-class ProcessBackend:
-    """Runs one engine's program over real worker processes."""
+    def __init__(self, engine: "ChannelEngine", pool: WorkerPool | None = None) -> None:
+        super().__init__(engine)
+        #: whether this backend owns its pool's lifecycle (it created it)
+        self.owns_pool = pool is None
+        self.pool = pool if pool is not None else WorkerPool(engine.num_workers)
 
-    def __init__(self, engine: "ChannelEngine") -> None:
-        self.engine = engine
-
-    def run(self, max_supersteps: int = 100_000) -> "EngineResult":
-        from repro.core.engine import EngineResult
-
-        engine = self.engine
-        metrics = engine.metrics
-        n = engine.num_workers
-        ctx = _mp_context()
-
-        export = SharedArrayExport()
-        procs: list = []
-        control: list = []
+    # -- template entry: poison the pool on any escaping error ---------------
+    def run(self, **kwargs):
         try:
-            # the clock starts before export/spawn/attach: those are real
-            # costs of running this backend and belong in wall_time, just
-            # as channel initialization is inside the simulator's window
-            metrics.start_run()
-            csr = engine.graph.csr_arrays()
-            cfg = {
-                "num_vertices": engine.graph.num_vertices,
-                "directed": engine.graph.directed,
-                "num_workers": n,
-                "indptr": export.share(csr["indptr"]),
-                "indices": export.share(csr["indices"]),
-                "weights": export.share(csr["weights"]) if "weights" in csr else None,
-                "owner": export.share(engine.owner),
+            return super().run(**kwargs)
+        except BaseException:
+            # an error escaping mid-protocol leaves worker processes in
+            # unknown states (possibly blocked on frame pipes); the pool
+            # cannot be trusted again
+            self.pool.broken = True
+            self.pool.shutdown()
+            raise
+
+    # -- primitives ----------------------------------------------------------
+    def begin_run(self, fault_tolerant: bool) -> None:
+        engine = self.engine
+        pool = self.pool
+        # the wall clock is already running: export/spawn/reconfigure are
+        # real costs of this backend and belong in wall_time, just as
+        # channel initialization is inside the simulator's window
+        pool.ensure(
+            {
+                "graph": engine.graph,
+                "owner": engine.owner,
                 "seeds": engine.initial_active,
-                "program_factory": engine.program_factory,
-                # see attach_array: spawned children must drop their private
-                # resource tracker's claim on the parent's segments
-                "unregister_shm": ctx.get_start_method() != "fork",
-            }
+                "factory": engine.program_factory,
+            },
+            engine.generation,
+        )
+        if pool.num_channels != engine.num_channels:
+            raise WorkerProcessError(
+                f"worker processes constructed {pool.num_channels} channels, "
+                f"expected {engine.num_channels}"
+            )
+        pool.start_run()
+        if fault_tolerant:
+            # keep the parent's mirror workers usable: recovery rebuilds
+            # and restores them (confined replay *runs* on them), and the
+            # documented channel lifecycle promises initialize() first
+            for worker in engine.workers:
+                for channel in worker.channels:
+                    channel.initialize()
 
-            # frame pipes: one simplex pipe per ordered worker pair
-            send_conns: list[dict] = [{} for _ in range(n)]
-            recv_conns: list[dict] = [{} for _ in range(n)]
-            for src in range(n):
-                for dst in range(n):
-                    if src == dst:
-                        continue
-                    r, s = ctx.Pipe(duplex=False)
-                    send_conns[src][dst] = s
-                    recv_conns[dst][src] = r
+    def barrier_vote(self) -> int:
+        self.pool.broadcast({"cmd": "begin"})
+        return sum(
+            int(reply["active"]) for reply in self.pool.gather("superstep begin")
+        )
 
-            for w in range(n):
-                parent_conn, child_conn = ctx.Pipe()
-                control.append(parent_conn)
-                proc = ctx.Process(
-                    target=worker_main,
-                    args=(w, cfg, child_conn, send_conns[w], recv_conns[w]),
-                    daemon=True,
-                    name=f"repro-worker-{w}",
-                )
-                proc.start()
-                procs.append(proc)
+    def compute_phase(self) -> None:
+        # vertex compute, genuinely parallel across processes
+        self.pool.broadcast({"cmd": "compute"})
+        for w, reply in enumerate(self.pool.gather("compute")):
+            self._merge(w, reply)
 
-            # startup barrier: every worker attached the shared graph and
-            # constructed the same channel set the parent validated
-            for w in range(n):
-                ready = recv_supervised(control[w], w, procs, "startup")
-                if ready["num_channels"] != engine.num_channels:
-                    raise WorkerProcessError(
-                        f"worker process {w} constructed {ready['num_channels']} "
-                        f"channels, expected {engine.num_channels}"
-                    )
-
-            self._superstep_loop(procs, control, max_supersteps)
-            metrics.end_run()
-
-            result = EngineResult(metrics=metrics)
-            sync = engine.sync_state
-            for w in range(n):
-                send_msg(control[w], {"cmd": "finalize", "sync": sync})
-            for w in range(n):
-                reply = recv_supervised(control[w], w, procs, "finalize")
-                result.data.update(reply["data"])
-                if sync:
-                    self._restore_worker(w, reply["state"])
-
-            for conn in control:
-                send_msg(conn, {"cmd": "stop"})
-            for proc in procs:
-                proc.join(timeout=10)
-            return result
-        finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5)
-            export.close()
-
-    # -- superstep loop (mirrors ChannelEngine.run / _exchange_phase) --------
-    def _superstep_loop(self, procs, control, max_supersteps: int) -> None:
+    def exchange_phase(self) -> None:
         engine = self.engine
         metrics = engine.metrics
+        pool = self.pool
         n = engine.num_workers
+        log_frames = engine.frame_log is not None
+        step_log: list[tuple[list[bool], list[list[bytes]]]] = []
 
-        while True:
-            for conn in control:
-                send_msg(conn, {"cmd": "begin"})
-            total_active = 0
-            for w in range(n):
-                reply = recv_supervised(control[w], w, procs, "superstep begin")
-                total_active += reply["active"]
-            if total_active == 0:
-                break
-            engine.step_num += 1
-            if engine.step_num > max_supersteps:
-                raise RuntimeError(
-                    f"exceeded max_supersteps={max_supersteps}; "
-                    "the program may not terminate"
-                )
-            metrics.start_superstep(total_active)
-
-            # 1. vertex compute, genuinely parallel across processes
-            for conn in control:
-                send_msg(conn, {"cmd": "compute"})
-            for w in range(n):
-                reply = recv_supervised(control[w], w, procs, "compute")
+        group_active = [True] * engine.num_channels
+        round_num = 0
+        while any(group_active):
+            pool.broadcast(
+                {
+                    "cmd": "exchange",
+                    "group_active": group_active,
+                    "round": round_num,
+                    "log_frames": log_frames,
+                }
+            )
+            sent = np.zeros((n, n), dtype=np.int64)
+            next_active = [False] * engine.num_channels
+            frames: list[list[bytes]] = []
+            for w, reply in enumerate(pool.gather("exchange")):
                 self._merge(w, reply)
+                sent[w] = reply["sent"]
+                for cid, flag in enumerate(reply["next_active"]):
+                    if flag:
+                        next_active[cid] = True
+                if log_frames:
+                    frames.append(reply["frames"])
+            if log_frames:
+                # sender-side frame log, identical to the simulator's:
+                # the raw cross-worker buffers of this round, pre-exchange
+                step_log.append((list(group_active), frames))
+                metrics.record_log_bytes(
+                    sum(len(buf) for row in frames for buf in row)
+                )
+            local_bytes = int(np.trace(sent))
+            send_bytes = sent.sum(axis=1) - np.diag(sent)
+            recv_bytes = sent.sum(axis=0) - np.diag(sent)
+            metrics.record_exchange(send_bytes, recv_bytes, local_bytes=local_bytes)
+            group_active = next_active
+            round_num += 1
 
-            # 2. channel exchange rounds
-            group_active = [True] * engine.num_channels
-            round_num = 0
-            while any(group_active):
-                for conn in control:
-                    send_msg(
-                        conn,
-                        {
-                            "cmd": "exchange",
-                            "group_active": group_active,
-                            "round": round_num,
-                        },
-                    )
-                sent = np.zeros((n, n), dtype=np.int64)
-                next_active = [False] * engine.num_channels
-                for w in range(n):
-                    reply = recv_supervised(control[w], w, procs, "exchange")
-                    self._merge(w, reply)
-                    sent[w] = reply["sent"]
-                    for cid, flag in enumerate(reply["next_active"]):
-                        if flag:
-                            next_active[cid] = True
-                local_bytes = int(np.trace(sent))
-                send_bytes = sent.sum(axis=1) - np.diag(sent)
-                recv_bytes = sent.sum(axis=0) - np.diag(sent)
-                metrics.record_exchange(send_bytes, recv_bytes, local_bytes=local_bytes)
-                group_active = next_active
-                round_num += 1
+        if log_frames:
+            engine.frame_log.append_step(engine.step_num, step_log)
 
-            metrics.end_superstep()
+    def capture_state_blobs(self) -> list[bytes]:
+        # snapshots are captured worker-side and cross the control pipes
+        # as the exact checkpoint-codec wire bytes the simulator would
+        # have written, so checkpoint sizes are bit-identical too
+        self.pool.broadcast({"cmd": "capture"})
+        return [bytes(reply["blob"]) for reply in self.pool.gather("checkpoint capture")]
 
+    def recover(self, doomed: list[int], mode: str) -> None:
+        engine = self.engine
+        pool = self.pool
+
+        # the failure is real: each doomed worker's OS process exits hard
+        # and its death surfaces through the standard supervision path as
+        # a WorkerProcessError, which recovery absorbs; the replacement
+        # then joins the surviving peers' frame pipes.  Kill/respawn one
+        # worker at a time so the pool's supervision never trips over a
+        # *previously* injected death while confirming the next respawn.
+        for w in doomed:
+            try:
+                pool.kill(w)
+            except WorkerProcessError:
+                pass
+            pool.respawn(w)
+
+        # 3. the recovery procedures themselves run on the engine's
+        # in-process mirror workers — the same code path as the simulator,
+        # operating purely on checkpoint blobs and the parent-side frame
+        # log — and the recovered state then ships to the children
+        if mode == "confined":
+            confined_recovery(engine, doomed)
+            # only the failed workers' state changed; survivors' live
+            # processes keep their current state, exactly per the paper
+            for w in doomed:
+                blob = encode_state(capture_worker_state(engine.workers[w]))
+                pool.send(
+                    w,
+                    {"cmd": "restore", "blob": blob, "step_num": engine.step_num},
+                )
+            for w in doomed:
+                pool.reply(w, "confined restore")
+        else:
+            rollback_recovery(engine, doomed)
+            snapshot = engine.checkpoint
+            for w in range(engine.num_workers):
+                pool.send(
+                    w,
+                    {
+                        "cmd": "restore",
+                        "blob": snapshot.blobs[w],
+                        "step_num": snapshot.superstep,
+                    },
+                )
+            pool.gather("rollback restore")
+
+    def collect_results(self) -> dict:
+        engine = self.engine
+        pool = self.pool
+        sync = engine.sync_state
+        pool.broadcast({"cmd": "finalize", "sync": sync})
+        data: dict = {}
+        for w, reply in enumerate(pool.gather("finalize")):
+            data.update(reply["data"])
+            if sync:
+                self._restore_worker(w, reply["state"])
+        return data
+
+    def shutdown(self) -> None:
+        if self.owns_pool:
+            self.pool.shutdown()
+
+    # -- helpers -------------------------------------------------------------
     def _merge(self, worker_id: int, reply: dict) -> None:
-        """Fold one worker's phase reply into the run's metrics."""
+        """Fold one worker's phase reply into the run's metrics, through
+        the same counting surface the channels use in-process."""
         metrics = self.engine.metrics
         metrics.record_compute(worker_id, reply["seconds"])
         counters = reply["counters"]
         if counters["messages"]:
             metrics.count_messages(counters["messages"])
         for label, (net, local, msgs) in counters["channels"].items():
-            entry = metrics.channel_traffic.setdefault(label, [0, 0, 0])
-            entry[0] += net
-            entry[1] += local
-            entry[2] += msgs
+            metrics.count_channel_bytes(label, net, local=False)
+            metrics.count_channel_bytes(label, local, local=True)
+            metrics.count_channel_messages(label, msgs)
 
     def _restore_worker(self, w: int, state: dict) -> None:
         """Load a child's end-of-run state into the parent's worker ``w``
         (checkpoint capture format), so post-run introspection of
         ``engine.workers`` sees what actually ran."""
-        worker = self.engine.workers[w]
-        worker.program.load_state_dict(state["program"])
-        worker.restore_flags(state["flags"])
-        for channel, channel_state in zip(worker.channels, state["channels"]):
-            channel.restore(channel_state)
+        load_worker_state(self.engine.workers[w], state)

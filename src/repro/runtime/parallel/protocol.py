@@ -37,12 +37,51 @@ def recv_msg(conn: Connection) -> dict:
     return decode_state(conn.recv_bytes())
 
 
-def recv_supervised(conn: Connection, worker_id: int, procs, phase: str) -> dict:
+def _scavenge_error(conn: Connection | None) -> str | None:
+    """A dead worker's last words: if its control pipe holds a buffered
+    ``error`` reply (the child traceback it managed to send before
+    exiting), return the traceback text.
+
+    A worker that *raises* — e.g. inside a channel's ``serialize`` during
+    an exchange round — ships the traceback and then exits; by the time
+    the parent's liveness check notices the death, the message is sitting
+    unread in the pipe.  Without scavenging it, the failure would surface
+    as a bare "died (exit code 0)" and the actual cause would be lost.
+    """
+    if conn is None:
+        return None
+    try:
+        if conn.poll(0):
+            msg = recv_msg(conn)
+            if isinstance(msg, dict) and "error" in msg:
+                return msg["error"]
+    except (EOFError, OSError, ValueError):
+        pass
+    return None
+
+
+def _death_error(w: int, proc, phase: str, conn: Connection | None) -> WorkerProcessError:
+    traceback = _scavenge_error(conn)
+    if traceback is not None:
+        return WorkerProcessError(
+            f"worker process {w} failed during {phase}:\n{traceback}"
+        )
+    return WorkerProcessError(
+        f"worker process {w} died (exit code {proc.exitcode}) during {phase}"
+    )
+
+
+def recv_supervised(
+    conn: Connection, worker_id: int, procs, phase: str, conns=None
+) -> dict:
     """Receive worker ``worker_id``'s reply, watching *all* processes.
 
     Any worker dying aborts the wait — not just the one being awaited:
     with peer-to-peer frame pipes a live worker may itself be blocked on
-    frames from the dead one, so its reply would never come.
+    frames from the dead one, so its reply would never come.  When
+    ``conns`` (all control pipes, in worker order) is given, a dead
+    worker's buffered traceback is scavenged so mid-exchange failures
+    keep their cause (see :func:`_scavenge_error`).
 
     A reply carrying an ``error`` key (a formatted child traceback) is
     also raised as :class:`WorkerProcessError`.
@@ -51,9 +90,8 @@ def recv_supervised(conn: Connection, worker_id: int, procs, phase: str) -> dict
         while not conn.poll(_POLL_INTERVAL):
             for w, proc in enumerate(procs):
                 if not proc.is_alive():
-                    raise WorkerProcessError(
-                        f"worker process {w} died (exit code {proc.exitcode}) "
-                        f"during {phase}"
+                    raise _death_error(
+                        w, proc, phase, conns[w] if conns is not None else None
                     )
         msg = recv_msg(conn)
     except EOFError:

@@ -3,7 +3,11 @@
 Each child owns one :class:`~repro.core.worker.Worker` — built against
 the shared-memory graph and partition — plus the program instance its
 factory constructs, exactly as the simulated engine builds them.  The
-child then serves barrier-protocol commands from the parent:
+child is *persistent*: it serves barrier-protocol commands from the
+parent for as long as its :class:`~repro.runtime.parallel.pool.WorkerPool`
+lives, across many ``engine.run()`` calls and streaming epochs.
+
+Run-loop commands (one superstep = ``begin`` / ``compute`` / ``exchange``\\*):
 
 ``begin``
     ``program.before_superstep()`` + ``worker.begin_superstep()``;
@@ -17,15 +21,41 @@ child then serves barrier-protocol commands from the parent:
     report which channel groups want another round.  The *same bytes*
     the simulator's :class:`~repro.runtime.buffers.BufferExchange` would
     move now cross real process boundaries; the parent gets only their
-    lengths, for cost-model accounting.
+    lengths, for cost-model accounting — plus the raw outgoing buffers
+    themselves when ``log_frames`` is set, feeding the parent's
+    sender-side :class:`~repro.core.recovery.FrameLog` for confined
+    recovery.
 ``finalize``
     Ship ``program.finalize()`` — and, when state sync is requested, the
-    full per-worker state in the checkpoint layer's capture format
-    (program state dict, halt/wake flags, per-channel ``snapshot()``) —
-    back to the parent through the tagged-binary codec.  No pickle: the
-    seven channel classes already know how to express their state as
-    arrays/scalars for checkpointing, and the process backend reuses
-    exactly that.
+    full per-worker state in the checkpoint layer's capture format —
+    back to the parent through the tagged-binary codec.
+
+Lifecycle commands (how a pool outlives any single engine):
+
+``configure``
+    Tear the current worker down and rebuild it for a *new* engine
+    configuration: attach the new shared-memory graph segments, apply
+    the remapped ownership array and seed set, and construct the new
+    program from the factory that rode along as pickle bytes (see
+    :class:`~repro.core.program.ProgramSpec`).  This is the delta/remap
+    message that replaces respawning — streaming epochs reuse the same
+    OS processes for the whole run.
+``start_run``
+    ``channel.initialize()`` on every channel, mirroring what the
+    simulated engine does at the top of each ``run()``.  The superstep
+    counter deliberately keeps running across same-engine runs — the
+    simulator's ``step_num`` does too — and is reset only by
+    ``configure`` (new engine) or ``restore`` (recovery rewind).
+``capture`` / ``restore``
+    Checkpointing across the process boundary: ``capture`` replies with
+    this worker's state as checkpoint-codec wire bytes
+    (:func:`repro.runtime.checkpoint.capture_worker_state`); ``restore``
+    loads such a blob (rollback recovery, or priming a respawned
+    replacement after an injected death) and rewinds ``step_num``.
+``die``
+    ``os._exit`` immediately — deterministic failure injection through
+    the *real* worker-death path (the parent observes a dead process,
+    not a polite error reply).
 ``stop``
     Exit the serve loop.
 
@@ -38,6 +68,9 @@ reply.
 
 from __future__ import annotations
 
+import gc
+import os
+import pickle
 import threading
 import time
 import traceback
@@ -46,6 +79,12 @@ import numpy as np
 
 from repro.core.worker import Worker
 from repro.graph.graph import Graph
+from repro.runtime.checkpoint import (
+    capture_worker_state,
+    decode_state,
+    encode_state,
+    load_worker_state,
+)
 from repro.runtime.parallel.protocol import recv_msg, send_msg
 from repro.runtime.parallel.shm import attach_array
 
@@ -135,10 +174,33 @@ def _exchange_frames(
     return inbox
 
 
-def worker_main(worker_id: int, cfg: dict, conn, send_conns: dict, recv_conns: dict) -> None:
-    """Child-process entry point; never raises (errors go to the parent)."""
-    segments = []
-    try:
+class _WorkerProcess:
+    """One child's whole runtime: shared-memory attachments, the Worker,
+    and the command dispatch loop."""
+
+    def __init__(self, worker_id: int, conn, send_conns: dict, recv_conns: dict):
+        self.worker_id = worker_id
+        self.conn = conn
+        self.send_conns = send_conns
+        self.recv_conns = recv_conns
+        self.segments: list = []
+        self.worker: Worker | None = None
+        self.host: _WorkerHost | None = None
+        self.active = np.empty(0, dtype=np.int64)
+
+    # -- (re)configuration ---------------------------------------------------
+    def build(self, cfg: dict, factory) -> int:
+        """(Re)build the worker for an engine configuration: attach the
+        shared graph/partition, construct the program, apply seeds.
+        Returns the channel count for the parent's validation barrier."""
+        old_segments = self.segments
+        # drop every reference into the old shared segments (worker ->
+        # graph -> shm views) before trying to unmap them
+        self.worker = None
+        self.host = None
+        self.active = np.empty(0, dtype=np.int64)
+
+        segments: list = []
         unreg = cfg["unregister_shm"]
         indptr, seg = attach_array(cfg["indptr"], unreg)
         segments.append(seg)
@@ -161,107 +223,171 @@ def worker_main(worker_id: int, cfg: dict, conn, send_conns: dict, recv_conns: d
             directed=cfg["directed"],
             validate=False,
         )
-        num_workers = cfg["num_workers"]
-        host = _WorkerHost(graph, owner, num_workers)
-        worker = Worker(host, worker_id, np.flatnonzero(owner == worker_id))
-        worker.program = cfg["program_factory"](worker)
+        host = _WorkerHost(graph, owner, cfg["num_workers"])
+        worker = Worker(host, self.worker_id, np.flatnonzero(owner == self.worker_id))
+        worker.program = factory(worker)
         if cfg["seeds"] is not None:
-            worker.seed_active(cfg["seeds"])
-        for channel in worker.channels:
-            channel.initialize()
-        send_msg(conn, {"ready": True, "num_channels": len(worker.channels)})
+            worker.seed_active(np.asarray(cfg["seeds"], dtype=np.int64))
+        if cfg["init_channels"]:
+            # respawned replacements mirror ChannelEngine.rebuild_worker:
+            # initialize now, the parent's restore blob overwrites next
+            for channel in worker.channels:
+                channel.initialize()
+        self.worker, self.host, self.segments = worker, host, segments
 
-        _serve(worker, host, conn, send_conns, recv_conns)
+        if old_segments:
+            # the previous generation's mappings: every view should be
+            # unreachable now; collect cycles, then unmap best-effort (a
+            # surviving stray reference keeps the map until process exit
+            # rather than crashing the reconfigure)
+            gc.collect()
+            for seg in old_segments:
+                try:
+                    seg.close()
+                except BufferError:  # pragma: no cover - stray view
+                    pass
+                except Exception:  # pragma: no cover
+                    pass
+        return len(worker.channels)
+
+    def close(self) -> None:
+        for seg in self.segments:
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    # -- the serve loop ------------------------------------------------------
+    def serve(self) -> None:
+        worker_id = self.worker_id
+        conn = self.conn
+
+        while True:
+            msg = recv_msg(conn)
+            cmd = msg["cmd"]
+            worker = self.worker
+            host = self.host
+            counters = host.metrics
+            num_workers = host.num_workers
+
+            if cmd == "begin":
+                worker.program.before_superstep()
+                self.active = worker.begin_superstep()
+                send_msg(conn, {"active": int(self.active.size)})
+
+            elif cmd == "compute":
+                host.step_num += 1
+                t0 = time.perf_counter()
+                worker.run_compute(self.active)
+                seconds = time.perf_counter() - t0
+                send_msg(conn, {"seconds": seconds, "counters": counters.flush()})
+
+            elif cmd == "exchange":
+                group_active = msg["group_active"]
+                t0 = time.perf_counter()
+                if msg["round"] == 0:
+                    for channel in worker.channels:
+                        channel.reset_round()
+                for cid, channel in enumerate(worker.channels):
+                    if group_active[cid]:
+                        channel.serialize()
+                out_bufs = []
+                for peer in range(num_workers):
+                    writer = worker.buffers.out[peer]
+                    out_bufs.append(writer.getvalue())
+                    writer.clear()
+                seconds = time.perf_counter() - t0
+
+                inbox = _exchange_frames(
+                    worker_id, num_workers, out_bufs, self.send_conns, self.recv_conns
+                )
+                worker.buffers.inbox = inbox
+
+                t0 = time.perf_counter()
+                routed = worker.route_inbox()
+                next_active = [False] * len(worker.channels)
+                for cid, channel in enumerate(worker.channels):
+                    if group_active[cid]:
+                        channel.deserialize(routed.get(cid, []))
+                        if channel.again():
+                            next_active[cid] = True
+                    elif cid in routed:  # pragma: no cover - defensive
+                        raise RuntimeError(f"data arrived for inactive channel {cid}")
+                seconds += time.perf_counter() - t0
+
+                reply = {
+                    "sent": np.array([len(b) for b in out_bufs], dtype=np.int64),
+                    "next_active": next_active,
+                    "seconds": seconds,
+                    "counters": counters.flush(),
+                }
+                if msg["log_frames"]:
+                    # sender-side frame log (confined recovery): the raw
+                    # cross-worker buffers, exactly as the simulator logs
+                    # them (self-delivery stays local, hence b"")
+                    reply["frames"] = [
+                        b"" if peer == worker_id else out_bufs[peer]
+                        for peer in range(num_workers)
+                    ]
+                send_msg(conn, reply)
+
+            elif cmd == "start_run":
+                for channel in worker.channels:
+                    channel.initialize()
+                send_msg(conn, {"ok": True})
+
+            elif cmd == "capture":
+                blob = encode_state(capture_worker_state(worker))
+                send_msg(conn, {"blob": blob})
+
+            elif cmd == "restore":
+                load_worker_state(worker, decode_state(msg["blob"]))
+                host.step_num = msg["step_num"]
+                send_msg(conn, {"ok": True})
+
+            elif cmd == "configure":
+                factory = pickle.loads(msg["factory"])
+                num_channels = self.build(msg["cfg"], factory)
+                send_msg(conn, {"ready": True, "num_channels": num_channels})
+
+            elif cmd == "finalize":
+                reply = {"data": worker.program.finalize()}
+                if msg["sync"]:
+                    # same capture format as runtime.checkpoint snapshots
+                    reply["state"] = capture_worker_state(worker)
+                send_msg(conn, reply)
+
+            elif cmd == "die":
+                # failure injection: die the way a crashed worker dies —
+                # no reply, no cleanup, just a dead process for the
+                # parent's supervision to notice
+                os._exit(msg["code"])
+
+            elif cmd == "stop":
+                return
+
+            else:  # pragma: no cover - protocol bug guard
+                raise RuntimeError(f"unknown command {cmd!r}")
+
+
+def worker_main(worker_id: int, cfg: dict, conn, send_conns: dict, recv_conns: dict) -> None:
+    """Child-process entry point; never raises (errors go to the parent).
+
+    ``cfg`` is the spawn-time configuration (shared-array specs plus the
+    first run's ``program_factory``, which rides through the process
+    start machinery — under ``fork`` it never crosses a pipe, so
+    closures and locally defined classes work).  Later configurations
+    arrive as ``configure`` commands instead.
+    """
+    proc = _WorkerProcess(worker_id, conn, send_conns, recv_conns)
+    try:
+        num_channels = proc.build(cfg, cfg["program_factory"])
+        send_msg(conn, {"ready": True, "num_channels": num_channels})
+        proc.serve()
     except BaseException:
         try:
             send_msg(conn, {"error": traceback.format_exc()})
         except Exception:  # pragma: no cover - parent already gone
             pass
     finally:
-        for seg in segments:
-            try:
-                seg.close()
-            except Exception:  # pragma: no cover
-                pass
-
-
-def _serve(worker: Worker, host: _WorkerHost, conn, send_conns, recv_conns) -> None:
-    counters = host.metrics
-    active = np.empty(0, dtype=np.int64)
-    num_workers = host.num_workers
-
-    while True:
-        msg = recv_msg(conn)
-        cmd = msg["cmd"]
-
-        if cmd == "begin":
-            worker.program.before_superstep()
-            active = worker.begin_superstep()
-            send_msg(conn, {"active": int(active.size)})
-
-        elif cmd == "compute":
-            host.step_num += 1
-            t0 = time.perf_counter()
-            worker.run_compute(active)
-            seconds = time.perf_counter() - t0
-            send_msg(conn, {"seconds": seconds, "counters": counters.flush()})
-
-        elif cmd == "exchange":
-            group_active = msg["group_active"]
-            t0 = time.perf_counter()
-            if msg["round"] == 0:
-                for channel in worker.channels:
-                    channel.reset_round()
-            for cid, channel in enumerate(worker.channels):
-                if group_active[cid]:
-                    channel.serialize()
-            out_bufs = []
-            for peer in range(num_workers):
-                writer = worker.buffers.out[peer]
-                out_bufs.append(writer.getvalue())
-                writer.clear()
-            seconds = time.perf_counter() - t0
-
-            inbox = _exchange_frames(
-                worker.worker_id, num_workers, out_bufs, send_conns, recv_conns
-            )
-            worker.buffers.inbox = inbox
-
-            t0 = time.perf_counter()
-            routed = worker.route_inbox()
-            next_active = [False] * len(worker.channels)
-            for cid, channel in enumerate(worker.channels):
-                if group_active[cid]:
-                    channel.deserialize(routed.get(cid, []))
-                    if channel.again():
-                        next_active[cid] = True
-                elif cid in routed:  # pragma: no cover - defensive
-                    raise RuntimeError(f"data arrived for inactive channel {cid}")
-            seconds += time.perf_counter() - t0
-
-            send_msg(
-                conn,
-                {
-                    "sent": np.array([len(b) for b in out_bufs], dtype=np.int64),
-                    "next_active": next_active,
-                    "seconds": seconds,
-                    "counters": counters.flush(),
-                },
-            )
-
-        elif cmd == "finalize":
-            reply = {"data": worker.program.finalize()}
-            if msg["sync"]:
-                # same capture format as runtime.checkpoint.capture_snapshot
-                reply["state"] = {
-                    "program": worker.program.state_dict(),
-                    "flags": worker.snapshot_flags(),
-                    "channels": [c.snapshot() for c in worker.channels],
-                }
-            send_msg(conn, reply)
-
-        elif cmd == "stop":
-            return
-
-        else:  # pragma: no cover - protocol bug guard
-            raise RuntimeError(f"unknown command {cmd!r}")
+        proc.close()

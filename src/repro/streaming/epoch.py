@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.engine import ChannelEngine, EngineResult
+from repro.core.engine import EXECUTORS, ChannelEngine, EngineResult
 from repro.graph.graph import Graph
 from repro.graph.partition import extend_partition, hash_partition
 from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
@@ -82,6 +82,20 @@ class EpochEngine:
         extended deterministically when batches add vertices.
     compact_threshold:
         Overlay-to-base ratio beyond which the delta graph compacts.
+    executor:
+        ``"sim"`` (default) or ``"process"``.  With ``"process"`` every
+        epoch runs on real worker processes drawn from **one persistent
+        pool**: the processes are spawned exactly once, then receive each
+        epoch's new graph view, remapped ownership, seed set, and refresh
+        program as control messages (see
+        :class:`~repro.runtime.parallel.pool.WorkerPool`).  Per-epoch
+        data, traffic, and byte/message totals are bit-identical to
+        ``"sim"``.
+    pool_reuse:
+        Process executor only.  ``True`` (default) amortizes one pool
+        across all epochs; ``False`` spawns a fresh pool per epoch — the
+        honest respawn-per-epoch baseline the pool-amortization benchmark
+        compares against.
     """
 
     def __init__(
@@ -94,15 +108,22 @@ class EpochEngine:
         compact_threshold: float = 0.25,
         network: NetworkModel = DEFAULT_NETWORK,
         partition_seed: int = 0,
+        executor: str = "sim",
+        pool_reuse: bool = True,
     ) -> None:
         if refresh not in REFRESH_MODES:
             raise ValueError(f"refresh must be one of {REFRESH_MODES}, got {refresh!r}")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         self.delta = DeltaGraph(graph, compact_threshold=compact_threshold)
         self.algorithm = algorithm
         self.num_workers = num_workers
         self.refresh = refresh
         self.network = network
         self.partition_seed = partition_seed
+        self.executor = executor
+        self.pool_reuse = bool(pool_reuse)
+        self.pool = None  # created lazily for executor="process"
         if partition is None:
             partition = hash_partition(graph.num_vertices, num_workers, seed=partition_seed)
         self.owner = np.asarray(partition, dtype=np.int64)
@@ -161,6 +182,7 @@ class EpochEngine:
             partition=self.owner,
             network=self.network,
             initial_active=plan.seeds,
+            **self._executor_kwargs(),
         )
         self.epoch_num += 1
         engine.metrics.record_stream_epoch(self.epoch_num, plan.affected, plan.mode)
@@ -181,6 +203,31 @@ class EpochEngine:
         )
         self.history.append(epoch_result)
         return epoch_result
+
+    def _executor_kwargs(self) -> dict:
+        """Per-epoch engine kwargs for the chosen execution backend.
+
+        For ``"process"``, epochs share one persistent worker pool (or,
+        with ``pool_reuse=False``, tear the previous epoch's pool down
+        and spawn a fresh one — the respawn-per-epoch baseline).
+        ``sync_state=True`` because :meth:`StreamAlgorithm.collect` reads
+        next-epoch warm state off ``engine.workers`` after the run.
+        """
+        if self.executor != "process":
+            return {}
+        from repro.runtime.parallel.pool import WorkerPool
+
+        if self.pool is None or not self.pool_reuse:
+            if self.pool is not None:
+                self.pool.shutdown()
+            self.pool = WorkerPool(self.num_workers)
+        return {"executor": "process", "pool": self.pool, "sync_state": True}
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for the sim executor; also
+        happens automatically when the engine is garbage collected)."""
+        if self.pool is not None:
+            self.pool.shutdown()
 
     # -- convenience -------------------------------------------------------
     @property

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.pagerank import DAMPING, run_pagerank
-from repro.core import Aggregator, BulkVertexProgram, CombinedMessage, SUM_F64
+from repro.core import Aggregator, BulkVertexProgram, CombinedMessage, ProgramSpec, SUM_F64
 from repro.graph.graph import Graph
 from repro.streaming.delta import ApplyStats
 from repro.streaming.plan import RefreshPlan, StreamAlgorithm, out_neighbor_mask, in_neighbor_mask
@@ -257,7 +257,9 @@ class PageRankStream(StreamAlgorithm):
             "hist": None if sched.full else state["hist"],
             "hist_s": None if sched.full else state["hist_s"],
         }
-        program = type("PageRankIncrementalBulk", (PageRankIncrementalBulk,), attrs)
+        # a ProgramSpec (rather than an anonymous type(...)) so the plan
+        # can cross into a persistent worker pool's live processes
+        program = ProgramSpec(PageRankIncrementalBulk, attrs)
         seeds = None if sched.full else np.flatnonzero(sched.active[1])
         return RefreshPlan(
             program_factory=program,

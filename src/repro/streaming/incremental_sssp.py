@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.sssp import run_sssp
-from repro.core import BulkVertexProgram, CombinedMessage, MIN_F64
+from repro.core import BulkVertexProgram, CombinedMessage, MIN_F64, ProgramSpec
 from repro.graph.graph import Graph
 from repro.streaming.delta import ApplyStats
 from repro.streaming.plan import RefreshPlan, StreamAlgorithm, in_neighbor_mask
@@ -163,9 +163,10 @@ class SSSPStream(StreamAlgorithm):
             targets[:n_old] = inval
             targets[stats.ins_dst] = True
 
-        program = type(
-            "SSSPIncrementalBulk",
-            (SSSPIncrementalBulk,),
+        # a ProgramSpec (rather than an anonymous type(...)) so the plan
+        # can cross into a persistent worker pool's live processes
+        program = ProgramSpec(
+            SSSPIncrementalBulk,
             {"warm_dist": warm, "announce_targets": targets},
         )
         return RefreshPlan(

@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.wcc import run_wcc
-from repro.core import BulkVertexProgram, CombinedMessage, MIN_I64
+from repro.core import BulkVertexProgram, CombinedMessage, MIN_I64, ProgramSpec
 from repro.graph.graph import Graph
 from repro.streaming.delta import ApplyStats
 from repro.streaming.plan import RefreshPlan, StreamAlgorithm
@@ -155,9 +155,9 @@ class WCCStream(StreamAlgorithm):
             plan_seeds = np.flatnonzero(seed)
             affected, mode = int(plan_seeds.size), "incremental"
 
-        program = type(
-            "WCCIncrementalBulk", (WCCIncrementalBulk,), {"warm_labels": warm}
-        )
+        # a ProgramSpec (rather than an anonymous type(...)) so the plan
+        # can cross into a persistent worker pool's live processes
+        program = ProgramSpec(WCCIncrementalBulk, {"warm_labels": warm})
         return RefreshPlan(
             program_factory=program, seeds=plan_seeds, affected=affected, mode=mode
         )

@@ -184,6 +184,48 @@ class TestStreamCLI:
         assert len(rows) == 1 + 5  # 20 mutations in chunks of 4
         assert all(r["batch_size"] == 4 for r in rows[1:])
 
+    def test_stream_process_executor_matches_sim(self, stream_file, capsys):
+        gpath, upath = stream_file
+        rows = {}
+        for executor in ("sim", "process"):
+            rc = cli_main(
+                [
+                    "stream", "wcc", "--graph", gpath, "--updates", upath,
+                    "--workers", "2", "--executor", executor, "--json",
+                ]
+            )
+            assert rc == 0
+            rows[executor] = [
+                json.loads(line) for line in capsys.readouterr().out.splitlines()
+            ]
+        for sim_row, proc_row in zip(rows["sim"], rows["process"]):
+            for key in ("supersteps", "rounds", "net_bytes", "local_bytes",
+                        "messages", "epoch", "refresh", "batch_size", "seeds"):
+                assert proc_row[key] == sim_row[key], key
+
+    def test_run_process_executor_with_recovery(self, capsys):
+        rc = cli_main(
+            [
+                "run", "wcc", "--dataset", "facebook", "--workers", "4",
+                "--executor", "process", "--checkpoint-every", "2",
+                "--fail", "1:3", "--recovery", "confined", "--json",
+            ]
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert out["executor"] == "process"
+        assert out["failures"] == 1 and out["checkpoint_bytes"] > 0
+
+    def test_run_rejects_bad_fail_spec_via_engine_validation(self, capsys):
+        rc = cli_main(
+            [
+                "run", "wcc", "--dataset", "facebook", "--workers", "2",
+                "--fail", "7:3",
+            ]
+        )
+        assert rc == 2
+        assert "bad run options" in capsys.readouterr().err
+
     def test_stream_bad_compact_threshold(self, stream_file, capsys):
         gpath, upath = stream_file
         rc = cli_main(

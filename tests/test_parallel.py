@@ -19,7 +19,7 @@ from repro.algorithms.pagerank import run_pagerank
 from repro.algorithms.pointer_jumping import run_pointer_jumping
 from repro.algorithms.sssp import run_sssp
 from repro.algorithms.wcc import run_wcc
-from repro.core import ChannelEngine, ScatterCombine, SUM_F64, VertexProgram
+from repro.core import Channel, ChannelEngine, ScatterCombine, SUM_F64, VertexProgram
 from repro.graph import rmat
 from repro.graph.partition import hash_partition, range_partition
 from repro.runtime.parallel import WorkerProcessError
@@ -164,31 +164,50 @@ class TestEngineIntegration:
         with pytest.raises(ValueError, match="executor"):
             ChannelEngine(directed_graph, object, executor="threads")
 
-    def test_second_run_rejected(self, directed_graph):
-        # a second sim run() is a no-op (everyone halted); worker
-        # processes would be rebuilt fresh and re-execute everything, so
-        # the engine refuses rather than silently diverge
+    def test_second_run_is_noop_like_sim(self, directed_graph):
+        # the persistent pool keeps worker state alive between runs, so a
+        # second run() matches the simulator's semantics exactly: every
+        # vertex is halted, zero supersteps execute, results repeat —
+        # and no new worker processes are spawned
         from repro.algorithms.wcc import WCCBasicBulk
+
+        sim = ChannelEngine(directed_graph, WCCBasicBulk, num_workers=2)
+        sim_first = sim.run()
+        sim_second = sim.run()
 
         engine = ChannelEngine(
             directed_graph, WCCBasicBulk, num_workers=2, executor="process"
         )
-        engine.run()
-        with pytest.raises(RuntimeError, match="already ran"):
-            engine.run()
+        first = engine.run()
+        spawned = engine.backend.pool.spawn_count
+        second = engine.run()
+        assert engine.backend.pool.spawn_count == spawned == 2
+        assert first.data == sim_first.data
+        assert second.data == sim_second.data
+        assert (
+            second.metrics.supersteps
+            == first.metrics.supersteps
+            == sim_second.metrics.supersteps
+        )
 
-    def test_fault_tolerance_requires_sim(self, directed_graph):
+    def test_process_checkpointing_counts_like_sim(self, directed_graph):
+        # fault tolerance is no longer sim-only: a checkpoint-only process
+        # run captures worker-side snapshots whose sizes match the sim's
         from repro.algorithms.wcc import WCCBasicBulk
 
-        engine = ChannelEngine(
+        sim = ChannelEngine(
+            directed_graph, WCCBasicBulk, num_workers=2, checkpoint_every=2
+        ).run()
+        proc = ChannelEngine(
             directed_graph,
             WCCBasicBulk,
             num_workers=2,
-            executor="process",
             checkpoint_every=2,
-        )
-        with pytest.raises(ValueError, match="executor='sim'"):
-            engine.run()
+            executor="process",
+        ).run()
+        assert proc.data == sim.data
+        assert proc.metrics.num_checkpoints == sim.metrics.num_checkpoints
+        assert proc.metrics.checkpoint_bytes == sim.metrics.checkpoint_bytes
 
     def test_max_supersteps_guard(self):
         from helpers import line_graph
@@ -231,6 +250,52 @@ class _RaiseAtSuperstep2(VertexProgram):
             v.vote_to_halt()
 
 
+class _BombChannel(Channel):
+    """Keeps every peer waiting on this worker's frames, then detonates on
+    worker 1 during superstep 2's exchange round — while peers are blocked
+    mid-exchange, the worst place for a death to go unnoticed."""
+
+    hard = False  # os._exit (crash) vs raise (error with traceback)
+
+    def serialize(self):
+        if self.worker.step_num == 2 and self.worker.worker_id == 1:
+            if self.hard:
+                os._exit(7)
+            raise ValueError("boom in serialize")
+        for peer in range(self.num_workers):
+            if peer != self.worker.worker_id:
+                self.emit(peer, b"x" * 64)
+
+    def deserialize(self, payloads):
+        self.round += 1
+
+    def snapshot(self):
+        return {}
+
+    def restore(self, state):
+        pass
+
+
+class _HardBombChannel(_BombChannel):
+    hard = True
+
+
+class _DieInExchange(VertexProgram):
+    channel_cls = _BombChannel
+
+    def __init__(self, worker):
+        super().__init__(worker)
+        self.chan = self.channel_cls(worker)
+
+    def compute(self, v):
+        if self.step_num >= 4:
+            v.vote_to_halt()
+
+
+class _CrashInExchange(_DieInExchange):
+    channel_cls = _HardBombChannel
+
+
 class TestCrashHandling:
     def test_worker_process_death_surfaces_cleanly(self, directed_graph):
         engine = ChannelEngine(
@@ -244,4 +309,38 @@ class TestCrashHandling:
             directed_graph, _RaiseAtSuperstep2, num_workers=4, executor="process"
         )
         with pytest.raises(WorkerProcessError, match="deliberate child failure"):
+            engine.run()
+
+    def test_hard_death_mid_exchange_round_no_hang(self, directed_graph):
+        # worker 1 exits inside channel.serialize while its peers block on
+        # its frame pipes; supervision must notice the dead process and
+        # abort instead of waiting on a reply that can never come
+        engine = ChannelEngine(
+            directed_graph, _CrashInExchange, num_workers=4, executor="process"
+        )
+        with pytest.raises(
+            WorkerProcessError, match=r"worker process 1 died \(exit code 7\)"
+        ):
+            engine.run()
+
+    def test_exception_mid_exchange_round_keeps_traceback(self, directed_graph):
+        # the dying worker ships its traceback and exits before the parent
+        # gets around to reading it; the supervisor must scavenge the
+        # buffered error so the cause isn't flattened to "died (exit 0)"
+        engine = ChannelEngine(
+            directed_graph, _DieInExchange, num_workers=4, executor="process"
+        )
+        with pytest.raises(WorkerProcessError, match="boom in serialize"):
+            engine.run()
+
+    def test_crash_poisons_the_pool(self, directed_graph):
+        engine = ChannelEngine(
+            directed_graph, _CrashInExchange, num_workers=4, executor="process"
+        )
+        with pytest.raises(WorkerProcessError):
+            engine.run()
+        pool = engine.backend.pool
+        assert pool.broken and pool.closed
+        assert all(not p.is_alive() for p in pool._state.procs)
+        with pytest.raises(WorkerProcessError, match="shut down"):
             engine.run()
