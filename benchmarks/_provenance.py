@@ -3,13 +3,22 @@
 Every ``BENCH_*.json`` records the same provenance next to its rows —
 the producing commit (``git_describe``) and the run's parameters — so a
 number in the repo can always be traced to the code and configuration
-that made it.  This helper keeps the three bench scripts from each
-growing their own copy of that envelope.
+that made it.  This helper keeps the bench scripts from each growing
+their own copy of that envelope.
+
+A benchmark number from a dirty tree is untraceable: the hash names a
+commit, the numbers came from code that isn't in it.  ``write_artifact``
+therefore flags dirty-tree runs loudly (``"dirty_tree": true`` in the
+payload plus a stderr warning), and refuses outright when
+``REPRO_BENCH_REQUIRE_CLEAN=1`` is set — CI sets it so a committed
+artifact can never silently embed unreviewed code.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import sys
 from pathlib import Path
 
 from repro.bench.runner import git_describe
@@ -19,6 +28,21 @@ __all__ = ["write_artifact"]
 
 def write_artifact(path: Path, rows: list[dict], **meta) -> None:
     """Write ``{**meta, git, rows}`` as indented JSON and announce it."""
-    payload = {**meta, "git": git_describe(), "rows": rows}
+    git = git_describe()
+    payload = {**meta, "git": git, "rows": rows}
+    if git.endswith("-dirty"):
+        if os.environ.get("REPRO_BENCH_REQUIRE_CLEAN") == "1":
+            raise SystemExit(
+                f"refusing to write {path}: working tree is dirty ({git}) "
+                "and REPRO_BENCH_REQUIRE_CLEAN=1 — commit or stash first "
+                "so the artifact is traceable to a real commit"
+            )
+        payload["dirty_tree"] = True
+        print(
+            f"WARNING: {path.name} produced from a dirty tree ({git}) — "
+            "the numbers are not traceable to the recorded commit; "
+            "flagged with dirty_tree=true",
+            file=sys.stderr,
+        )
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {path}")

@@ -1,23 +1,34 @@
-"""Simulated vs. multiprocess backend (BENCH_parallel.json).
+"""Simulated vs. multiprocess backend, per transport (BENCH_parallel.json).
 
 For each workload × worker count, runs the same program on the simulated
 backend (every worker sequential in one process) and on the process
-backend (one OS process per worker over shared memory and pipes), then:
+backend under **both frame transports** — shared-memory ring buffers
+(``shm``, the default) and OS pipes (``pipe``, the portable fallback) —
+then:
 
 * **asserts the parity contract** — bit-identical result data, identical
   per-channel traffic breakdown, and identical superstep / byte /
-  message totals; a speedup can never come from doing different work —
-  the script exits non-zero on any violation, which the CI smoke relies
-  on;
-* **reports the wall-clock ratio** — the process backend's whole point.
-  The speedup is only meaningful when the machine actually has cores to
-  parallelize over, so the artifact records ``cpus``; on a single-CPU
-  box the process rows measure protocol overhead, not parallelism, and
-  ``speedup_valid`` is false.
+  message totals, for *each* transport; a speedup can never come from
+  doing different work — the script exits non-zero on any violation,
+  which the CI smoke relies on;
+* **reports the wall-clock ratios** — ``speedup_shm_vs_sim`` is the
+  process backend's whole point, ``speedup_shm_vs_pipe`` is what the
+  ring transport buys over the pipe hop.  Speedups are only meaningful
+  when the machine actually has cores to parallelize over, so the
+  artifact records ``cpus``; on a single-CPU box the process rows
+  measure protocol overhead, not parallelism, and ``speedup_valid`` is
+  false (``shm_vs_pipe`` still compares the two transports' overhead
+  honestly, it just can't show parallel wins);
+* **records per-phase timings** — every row carries each backend's
+  critical-path seconds per phase (barrier / compute / serialize /
+  exchange, from :meth:`MetricsCollector.phase_totals`), so a regression
+  can be localized to the phase that slowed down.  ``--phases`` prints
+  the breakdown as a table.
 
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py                      # 100k-vertex workloads
+    PYTHONPATH=src python benchmarks/bench_parallel.py --phases             # + phase breakdown
     PYTHONPATH=src python benchmarks/bench_parallel.py --dataset tree --workers 2  # smoke
 """
 
@@ -46,6 +57,9 @@ WORKLOADS = {
     "wcc-bulk": lambda g, **kw: run_wcc(g, variant="basic", mode="bulk", **kw),
 }
 
+TRANSPORTS = ("pipe", "shm")
+PHASES = ("barrier", "compute", "serialize", "exchange")
+
 
 def _cpus() -> int:
     try:
@@ -70,6 +84,11 @@ def _identical(a, b) -> bool:
     )
 
 
+def _phase_row(result) -> dict:
+    totals = result.phase_times or {}
+    return {p: round(totals.get(p, 0.0), 4) for p in PHASES}
+
+
 def bench(dataset: str, workers_list: list[int], seed: int) -> list[dict]:
     graph = load_dataset(dataset)
     rows = []
@@ -77,23 +96,58 @@ def bench(dataset: str, workers_list: list[int], seed: int) -> list[dict]:
         for workers in workers_list:
             part = hash_partition(graph.num_vertices, workers, seed=seed)
             sim = runner(graph, num_workers=workers, partition=part)
-            proc = runner(
-                graph, num_workers=workers, partition=part, executor="process"
-            )
-            ms, mp_ = sim[-1].metrics, proc[-1].metrics
+            proc = {
+                t: runner(
+                    graph,
+                    num_workers=workers,
+                    partition=part,
+                    executor="process",
+                    transport=t,
+                )
+                for t in TRANSPORTS
+            }
+            walls = {t: proc[t][-1].metrics.wall_time for t in TRANSPORTS}
+            sim_wall = sim[-1].metrics.wall_time
             rows.append(
                 {
                     "workload": name,
                     "workers": workers,
-                    "supersteps": ms.supersteps,
-                    "net_mb": round(ms.total_net_bytes / 1e6, 3),
-                    "sim_wall_s": round(ms.wall_time, 4),
-                    "process_wall_s": round(mp_.wall_time, 4),
-                    "speedup": round(ms.wall_time / max(mp_.wall_time, 1e-9), 2),
-                    "traffic_identical": _identical(sim, proc),
+                    "supersteps": sim[-1].metrics.supersteps,
+                    "net_mb": round(sim[-1].metrics.total_net_bytes / 1e6, 3),
+                    "sim_wall_s": round(sim_wall, 4),
+                    "pipe_wall_s": round(walls["pipe"], 4),
+                    "shm_wall_s": round(walls["shm"], 4),
+                    "speedup_shm_vs_sim": round(
+                        sim_wall / max(walls["shm"], 1e-9), 2
+                    ),
+                    "speedup_shm_vs_pipe": round(
+                        walls["pipe"] / max(walls["shm"], 1e-9), 2
+                    ),
+                    "parity_pipe": _identical(sim, proc["pipe"]),
+                    "parity_shm": _identical(sim, proc["shm"]),
+                    "phases": {
+                        "sim": _phase_row(sim[-1]),
+                        **{t: _phase_row(proc[t][-1]) for t in TRANSPORTS},
+                    },
                 }
             )
     return rows
+
+
+def phase_table(rows: list[dict]) -> list[dict]:
+    """Flatten each row's per-backend phase totals for display."""
+    out = []
+    for r in rows:
+        for backend, totals in r["phases"].items():
+            out.append(
+                {
+                    "workload": r["workload"],
+                    "workers": r["workers"],
+                    "backend": backend,
+                    **totals,
+                }
+            )
+    return out
 
 
 def bench_amortization(
@@ -173,6 +227,12 @@ def main(argv=None) -> int:
         help="hash-partition seed, so reruns measure the same distribution",
     )
     parser.add_argument(
+        "--phases",
+        action="store_true",
+        help="also print the per-phase critical-path breakdown "
+        "(barrier/compute/serialize/exchange) for every backend",
+    )
+    parser.add_argument(
         "--amortize-epochs",
         type=int,
         default=6,
@@ -190,13 +250,23 @@ def main(argv=None) -> int:
 
     cpus = _cpus()
     rows = bench(args.dataset, args.workers, args.seed)
+    display_cols = [c for c in rows[0] if c != "phases"]
     print(
         render_rows(
             rows,
             title=f"sim vs process backend ({args.dataset}, {cpus} cpus)",
-            cols=list(rows[0]),
+            cols=display_cols,
         )
     )
+    if args.phases:
+        breakdown = phase_table(rows)
+        print(
+            render_rows(
+                breakdown,
+                title="per-phase critical-path seconds",
+                cols=list(breakdown[0]),
+            )
+        )
     amortization: list[dict] = []
     if args.amortize_epochs > 0:
         amortization = bench_amortization(
@@ -229,11 +299,15 @@ def main(argv=None) -> int:
         seed=args.seed,
         cpus=cpus,
         speedup_valid=cpus >= 2,
+        transports=list(TRANSPORTS),
         amortization=amortization,
     )
 
     broken = [
-        f"{r['workload']}@{r['workers']}" for r in rows if not r["traffic_identical"]
+        f"{r['workload']}@{r['workers']}:{t}"
+        for r in rows
+        for t in TRANSPORTS
+        if not r[f"parity_{t}"]
     ]
     broken += [
         f"amortization/{r['mode']}" for r in amortization if not r["identical"]

@@ -1,0 +1,184 @@
+"""CI regression gate for process-backend benchmark artifacts.
+
+Compares a freshly produced ``BENCH_parallel*.json`` against the
+committed baseline and fails (exit 1) on anything that should never
+regress:
+
+* **Parity is environment-independent and always enforced.**  Every
+  fresh row must report ``parity_shm`` and ``parity_pipe`` true (and the
+  amortization rows ``identical``), and on the row intersection with the
+  baseline — matched by (workload, workers) — the work done must be
+  *exactly* the baseline's: same ``supersteps``, same ``net_mb``.  A CI
+  smoke that runs a subset (say ``--workers 2`` against a baseline with
+  ``[2, 8]``) checks just the rows it has.
+* **Wall-time is environment-dependent and gated on ``speedup_valid``.**
+  Per-transport wall-clock ratios (fresh / baseline) fail above
+  ``--tolerance`` only when *both* artifacts were produced with
+  ``speedup_valid: true`` — a 1-CPU baseline or a 1-CPU smoke measures
+  protocol overhead, and comparing those against multi-core numbers
+  would gate merges on noise.
+* **The transport's reason to exist.**  When the fresh artifact has
+  ``speedup_valid: true``, at least one bulk workload at 2 workers must
+  show ``speedup_shm_vs_pipe >= --min-shm-speedup`` (default 1.5) —
+  the ring transport has to actually beat the pipe hop on real cores.
+* A fresh artifact flagged ``dirty_tree`` fails outright: its numbers
+  are not traceable to any commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py FRESH.json \\
+        [--baseline BENCH_parallel.json] [--tolerance 1.5] [--min-shm-speedup 1.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["check", "main"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _rows_by_key(payload: dict) -> dict[tuple, dict]:
+    return {(r["workload"], r["workers"]): r for r in payload["rows"]}
+
+
+def check(
+    fresh: dict,
+    baseline: dict,
+    tolerance: float = 1.5,
+    min_shm_speedup: float = 1.5,
+) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+
+    if fresh.get("dirty_tree"):
+        failures.append(
+            f"fresh artifact was produced from a dirty tree ({fresh.get('git')}) "
+            "— numbers are untraceable; rerun from a clean checkout"
+        )
+
+    # -- parity: absolute, environment-independent -------------------------
+    for row in fresh["rows"]:
+        cell = f"{row['workload']}@{row['workers']}"
+        for t in ("pipe", "shm"):
+            if not row.get(f"parity_{t}", False):
+                failures.append(f"{cell}: transport {t!r} broke sim parity")
+    for row in fresh.get("amortization", []):
+        if not row.get("identical", False):
+            failures.append(
+                f"amortization/{row.get('mode')}: per-epoch data diverged"
+            )
+
+    # -- work parity vs baseline on the row intersection --------------------
+    comparable = fresh.get("dataset") == baseline.get("dataset") and fresh.get(
+        "seed"
+    ) == baseline.get("seed")
+    if not comparable:
+        failures.append(
+            f"artifacts are not comparable: fresh is "
+            f"(dataset={fresh.get('dataset')!r}, seed={fresh.get('seed')}), "
+            f"baseline is (dataset={baseline.get('dataset')!r}, "
+            f"seed={baseline.get('seed')})"
+        )
+    base_rows = _rows_by_key(baseline)
+    shared = [
+        (key, row)
+        for key, row in _rows_by_key(fresh).items()
+        if key in base_rows
+    ]
+    if not shared and comparable:
+        failures.append("no (workload, workers) rows in common with the baseline")
+    for key, row in shared if comparable else []:
+        cell = f"{key[0]}@{key[1]}"
+        base = base_rows[key]
+        for field in ("supersteps", "net_mb"):
+            if row.get(field) != base.get(field):
+                failures.append(
+                    f"{cell}: {field} changed "
+                    f"(baseline {base.get(field)}, fresh {row.get(field)}) — "
+                    "the backend is doing different work, not running slower"
+                )
+
+    # -- wall time: only when both sides measured real parallelism ----------
+    walls_meaningful = fresh.get("speedup_valid") and baseline.get("speedup_valid")
+    for key, row in shared if (comparable and walls_meaningful) else []:
+        cell = f"{key[0]}@{key[1]}"
+        base = base_rows[key]
+        for field in ("pipe_wall_s", "shm_wall_s"):
+            b, f = base.get(field), row.get(field)
+            if not b or not f:
+                continue
+            ratio = f / b
+            if ratio > tolerance:
+                failures.append(
+                    f"{cell}: {field} regressed {ratio:.2f}x "
+                    f"(baseline {b}s, fresh {f}s, tolerance {tolerance}x)"
+                )
+
+    # -- shm must beat pipe somewhere real ----------------------------------
+    if fresh.get("speedup_valid"):
+        two_worker = [r for r in fresh["rows"] if r["workers"] == 2]
+        best = max(
+            (r.get("speedup_shm_vs_pipe", 0.0) for r in two_worker),
+            default=0.0,
+        )
+        if two_worker and best < min_shm_speedup:
+            failures.append(
+                f"shm never beat pipe by {min_shm_speedup}x at 2 workers "
+                f"(best speedup_shm_vs_pipe = {best}) — the ring transport "
+                "is not earning its keep on this machine"
+            )
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="just-produced artifact")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_parallel.json",
+        help="committed artifact to compare against (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="max allowed fresh/baseline wall-time ratio (default 1.5; "
+        "only enforced when both artifacts have speedup_valid)",
+    )
+    parser.add_argument(
+        "--min-shm-speedup",
+        type=float,
+        default=1.5,
+        help="required speedup_shm_vs_pipe on >=1 workload at 2 workers "
+        "when the fresh run had real cores (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(fresh, baseline, args.tolerance, args.min_shm_speedup)
+    if failures:
+        for msg in failures:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        return 1
+    walls = (
+        "enforced"
+        if fresh.get("speedup_valid") and baseline.get("speedup_valid")
+        else "skipped (speedup_valid false on at least one side)"
+    )
+    print(
+        f"regression gate passed: {len(fresh['rows'])} rows checked, "
+        f"parity exact, wall-time {walls}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

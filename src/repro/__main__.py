@@ -87,6 +87,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "injection work on both",
     )
     run.add_argument(
+        "--transport",
+        choices=["shm", "pipe"],
+        default=None,
+        help="process-executor frame data plane: shared-memory ring "
+        "buffers (shm, the default) or OS pipes (pipe, the portable "
+        "fallback); results are bit-identical either way",
+    )
+    run.add_argument(
         "--partition",
         choices=["hash", "range", "metis"],
         default="hash",
@@ -160,6 +168,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "then receive each epoch's graph/program as control messages)",
     )
     stream.add_argument(
+        "--transport",
+        choices=["shm", "pipe"],
+        default=None,
+        help="process-executor frame data plane (see `run --transport`)",
+    )
+    stream.add_argument(
         "--iterations", type=int, default=10, help="PageRank iterations"
     )
     stream.add_argument("--source", type=int, default=0, help="SSSP source")
@@ -216,11 +230,14 @@ def _cmd_run(args) -> int:
             failures=args.fail or None,
             recovery=args.recovery,
             num_workers=args.workers,
+            transport=args.transport,
         )
     except ValueError as exc:
         print(f"bad run options: {exc}", file=sys.stderr)
         return 2
     kwargs = {"num_workers": args.workers, "executor": args.executor}
+    if args.transport is not None:
+        kwargs["transport"] = args.transport
     if partition == "metis":
         kwargs["partition"] = metis_like_partition(graph, args.workers, seed=0)
     elif partition == "range":
@@ -245,6 +262,8 @@ def _cmd_run(args) -> int:
         "executor": args.executor,
         **m.summary(),
     }
+    if args.executor == "process":
+        row["transport"] = args.transport if args.transport is not None else "shm"
     if args.json:
         print(json.dumps(row))
     else:
@@ -281,14 +300,19 @@ def _cmd_stream(args) -> int:
     elif args.algorithm == "sssp":
         params["source"] = args.source
     algo = STREAM_ALGORITHMS[args.algorithm](**params)
-    engine = EpochEngine(
-        graph,
-        algo,
-        num_workers=args.workers,
-        refresh=args.refresh,
-        compact_threshold=args.compact_threshold,
-        executor=args.executor,
-    )
+    try:
+        engine = EpochEngine(
+            graph,
+            algo,
+            num_workers=args.workers,
+            refresh=args.refresh,
+            compact_threshold=args.compact_threshold,
+            executor=args.executor,
+            transport=args.transport,
+        )
+    except ValueError as exc:
+        print(f"bad stream options: {exc}", file=sys.stderr)
+        return 2
     try:
         engine.bootstrap()
         epochs = engine.run(batches)

@@ -43,6 +43,10 @@ RECOVERY_MODES = ("rollback", "confined")
 #: recognised execution backends
 EXECUTORS = ("sim", "process")
 
+#: recognised process-backend frame transports (see
+#: :class:`~repro.runtime.parallel.pool.WorkerPool`)
+TRANSPORTS = ("shm", "pipe")
+
 #: engine configuration generations, for worker-pool reuse: a pool knows
 #: which engine's configuration its worker processes currently hold and
 #: reconfigures only when a *different* engine runs on it
@@ -90,6 +94,13 @@ class EngineResult:
         """Modeled parallel runtime (max compute + network per superstep);
         ``None`` when metrics collection was disabled."""
         return self.metrics.simulated_time if self.metrics is not None else None
+
+    @property
+    def phase_times(self) -> dict | None:
+        """Measured critical-path seconds per superstep phase
+        (:meth:`~repro.runtime.metrics.MetricsCollector.phase_totals`);
+        ``None`` when metrics collection was disabled."""
+        return self.metrics.phase_totals() if self.metrics is not None else None
 
 
 class ChannelEngine:
@@ -144,6 +155,14 @@ class ChannelEngine:
         engine loads it into its own workers, so post-run introspection
         of ``engine.workers`` behaves as after a simulated run.  Off by
         default — result data always comes back regardless.
+    transport:
+        Process executor only: the frame data plane.  ``"shm"`` (the
+        default) exchanges codec frames worker-to-worker through
+        per-pair shared-memory ring buffers, with barrier votes batched
+        into the ring headers and compute overlapped with exchange;
+        ``"pipe"`` is the portable OS-pipe fallback.  Both produce
+        bit-identical results; ``None`` means the pool's transport (or
+        ``"shm"`` when the engine creates the pool).
     pool:
         Process executor only: an existing
         :class:`~repro.runtime.parallel.pool.WorkerPool` to run on
@@ -168,11 +187,12 @@ class ChannelEngine:
         initial_active: np.ndarray | None = None,
         executor: str = "sim",
         sync_state: bool = False,
+        transport: str | None = None,
         pool=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
-        self.validate_options(executor=executor, recovery=recovery)
+        self.validate_options(executor=executor, recovery=recovery, transport=transport)
         if pool is not None:
             if executor != "process":
                 raise ValueError("pool= only applies to executor='process'")
@@ -181,6 +201,20 @@ class ChannelEngine:
                     f"pool has {pool.num_workers} workers, engine wants "
                     f"{num_workers}"
                 )
+            if transport is not None:
+                # a single-worker pool normalizes any request to "pipe",
+                # so compare against the same normalization
+                effective = transport if num_workers > 1 else "pipe"
+                if pool.transport != effective:
+                    raise ValueError(
+                        f"pool uses transport={pool.transport!r}, engine "
+                        f"wants {transport!r}"
+                    )
+        self.transport = (
+            transport
+            if transport is not None
+            else (pool.transport if pool is not None else "shm")
+        )
         self.executor = executor
         self.sync_state = bool(sync_state)
         self.pool = pool
@@ -239,6 +273,7 @@ class ChannelEngine:
         failures=None,
         recovery: str = "rollback",
         num_workers: int | None = None,
+        transport: str | None = None,
     ) -> FailureSchedule | None:
         """Validate a backend/fault-tolerance option combination in one
         place, coercing ``failures`` into a
@@ -254,6 +289,13 @@ class ChannelEngine:
         """
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if transport is not None:
+            if transport not in TRANSPORTS:
+                raise ValueError(
+                    f"transport must be one of {TRANSPORTS}, got {transport!r}"
+                )
+            if executor != "process":
+                raise ValueError("transport= only applies to executor='process'")
         if recovery not in RECOVERY_MODES:
             raise ValueError(
                 f"recovery must be one of {RECOVERY_MODES}, got {recovery!r}"

@@ -112,7 +112,9 @@ class ExecutorBackend:
             self.take_checkpoint()
 
         while True:
+            t_barrier = time.perf_counter()
             total_active = self.barrier_vote()
+            barrier_seconds = time.perf_counter() - t_barrier
             if total_active == 0:
                 break
             engine.step_num += 1
@@ -122,6 +124,10 @@ class ExecutorBackend:
                     "the program may not terminate"
                 )
             metrics.start_superstep(total_active)
+            # the vote is a global sync point every worker waits through,
+            # so the whole collection time is charged to each of them
+            for w in range(engine.num_workers):
+                metrics.record_phase(w, "barrier", barrier_seconds)
             self.compute_phase()
             self.exchange_phase()
             metrics.end_superstep()
@@ -232,7 +238,9 @@ class SimBackend(ExecutorBackend):
         for worker, active in zip(self.engine.workers, self._active_sets):
             t0 = time.perf_counter()
             worker.run_compute(active)
-            metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+            seconds = time.perf_counter() - t0
+            metrics.record_compute(worker.worker_id, seconds)
+            metrics.record_phase(worker.worker_id, "compute", seconds)
 
     def exchange_phase(self) -> None:
         engine = self.engine
@@ -254,7 +262,9 @@ class SimBackend(ExecutorBackend):
                 for cid, channel in enumerate(worker.channels):
                     if group_active[cid]:
                         channel.serialize()
-                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+                seconds = time.perf_counter() - t0
+                metrics.record_compute(worker.worker_id, seconds)
+                metrics.record_phase(worker.worker_id, "serialize", seconds)
                 net, local = worker.buffers.out_nbytes()
                 wrote = wrote or net > 0 or local > 0
 
@@ -279,7 +289,13 @@ class SimBackend(ExecutorBackend):
                 )
 
             # pairwise exchange (accounted by the cost model)
+            t0 = time.perf_counter()
             self._exchange.exchange([w.buffers for w in engine.workers])
+            swap_seconds = time.perf_counter() - t0
+            # the swap is one shared memcpy pass here; like the barrier,
+            # it's a global step every worker sits through
+            for w in range(engine.num_workers):
+                metrics.record_phase(w, "exchange", swap_seconds)
 
             # deserialize + decide on another round
             next_active = [False] * engine.num_channels
@@ -295,7 +311,9 @@ class SimBackend(ExecutorBackend):
                         raise RuntimeError(
                             f"data arrived for inactive channel {cid}"
                         )
-                metrics.record_compute(worker.worker_id, time.perf_counter() - t0)
+                seconds = time.perf_counter() - t0
+                metrics.record_compute(worker.worker_id, seconds)
+                metrics.record_phase(worker.worker_id, "serialize", seconds)
             group_active = next_active
 
         if step_log is not None:

@@ -39,6 +39,12 @@ class SuperstepRecord:
     compute_time_max: float = 0.0
     compute_time_sum: float = 0.0
     exchange_time: float = 0.0
+    #: measured wall-time per phase per worker: {"barrier" | "compute" |
+    #: "serialize" | "exchange": [seconds] * num_workers}.  "serialize"
+    #: covers codec work in both directions (serialize + deserialize);
+    #: "exchange" is pure transport (pipe swap / ring pump).  Phases a
+    #: backend doesn't measure are simply absent.
+    phases: dict = field(default_factory=dict)
 
     @property
     def simulated_time(self) -> float:
@@ -58,6 +64,7 @@ class MetricsCollector:
     wall_time: float = 0.0
     _current: SuperstepRecord | None = field(default=None, repr=False)
     _compute_per_worker: np.ndarray | None = field(default=None, repr=False)
+    _phase_per_worker: dict | None = field(default=None, repr=False)
 
     # -- fault-tolerance accounting (never rolled back: real costs paid) ----
     #: serialized checkpoint bytes written across all checkpoints
@@ -94,10 +101,22 @@ class MetricsCollector:
             superstep=len(self.records), active_vertices=active_vertices
         )
         self._compute_per_worker = np.zeros(self.num_workers)
+        self._phase_per_worker = {}
 
     def record_compute(self, worker_id: int, seconds: float) -> None:
         assert self._compute_per_worker is not None
         self._compute_per_worker[worker_id] += seconds
+
+    def record_phase(self, worker_id: int, phase: str, seconds: float) -> None:
+        """Attribute measured wall-time to a named superstep phase (see
+        :attr:`SuperstepRecord.phases`).  Purely observational — phase
+        timings never feed ``simulated_time`` or any parity-checked
+        counter, so backends are free to measure what they can."""
+        assert self._phase_per_worker is not None
+        arr = self._phase_per_worker.get(phase)
+        if arr is None:
+            arr = self._phase_per_worker[phase] = np.zeros(self.num_workers)
+        arr[worker_id] += seconds
 
     def record_exchange(
         self,
@@ -168,7 +187,10 @@ class MetricsCollector:
         the per-channel traffic).  Fault-tolerance counters are excluded on
         purpose: checkpoint/recovery costs already paid stay paid."""
         return {
-            "records": [replace(r) for r in self.records],
+            "records": [
+                replace(r, phases={k: list(v) for k, v in r.phases.items()})
+                for r in self.records
+            ],
             "channel_traffic": {k: list(v) for k, v in self.channel_traffic.items()},
         }
 
@@ -176,19 +198,28 @@ class MetricsCollector:
         """Roll the per-superstep bookkeeping back to a :meth:`snapshot`;
         re-executed supersteps then re-append, so a recovered run's totals
         match a failure-free run's exactly."""
-        self.records = [replace(r) for r in state["records"]]
+        self.records = [
+            replace(r, phases={k: list(v) for k, v in r.phases.items()})
+            for r in state["records"]
+        ]
         self.channel_traffic = {k: list(v) for k, v in state["channel_traffic"].items()}
         self._current = None
         self._compute_per_worker = None
+        self._phase_per_worker = None
 
     def end_superstep(self) -> None:
         cur = self._current
         assert cur is not None and self._compute_per_worker is not None
         cur.compute_time_max = float(np.max(self._compute_per_worker))
         cur.compute_time_sum = float(np.sum(self._compute_per_worker))
+        if self._phase_per_worker:
+            cur.phases = {
+                k: [float(x) for x in v] for k, v in self._phase_per_worker.items()
+            }
         self.records.append(cur)
         self._current = None
         self._compute_per_worker = None
+        self._phase_per_worker = None
 
     # -- derived totals -----------------------------------------------------
     @property
@@ -214,6 +245,18 @@ class MetricsCollector:
     @property
     def simulated_time(self) -> float:
         return sum(r.simulated_time for r in self.records)
+
+    def phase_totals(self) -> dict:
+        """Critical-path seconds per phase: Σ over supersteps of the
+        slowest worker's time in that phase.  This is the number that
+        explains where ``wall_time`` went (workers run a phase in
+        parallel, so the max — not the sum — is what the barrier waits
+        on).  Empty when no backend recorded phase timings."""
+        totals: dict = {}
+        for r in self.records:
+            for phase, per_worker in r.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + max(per_worker)
+        return totals
 
     def summary(self) -> dict:
         """Flat dict used by the bench harness to print table rows.

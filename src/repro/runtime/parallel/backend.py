@@ -14,10 +14,14 @@ worker processes drawn from a persistent
   shared drive loop in :meth:`ExecutorBackend.run` is the barrier (no
   worker starts a phase before every worker finished the previous one);
 * **peer-to-peer frames** — per-superstep channel frames travel directly
-  between worker processes over dedicated pipes as the exact wire bytes
-  the codec layer produced; the parent receives only their byte counts
-  and feeds them to the same :meth:`MetricsCollector.record_exchange`
-  the simulator uses;
+  between worker processes as the exact wire bytes the codec layer
+  produced: over per-pair shared-memory ring buffers on
+  ``transport="shm"`` pools (the default — barrier votes batch into the
+  ring headers and the parent drives a whole superstep with one
+  broadcast + one consolidated reply per worker, see ARCHITECTURE.md
+  §9), or over dedicated pipes on ``transport="pipe"`` pools; either
+  way the parent receives only byte counts and feeds them to the same
+  :meth:`MetricsCollector.record_exchange` the simulator uses;
 * **fault tolerance for real** — checkpoints are captured worker-side
   and shipped to the parent as checkpoint-codec wire bytes; an injected
   failure kills the worker's OS process outright (the parent observes
@@ -69,7 +73,12 @@ class ProcessBackend(ExecutorBackend):
         super().__init__(engine)
         #: whether this backend owns its pool's lifecycle (it created it)
         self.owns_pool = pool is None
-        self.pool = pool if pool is not None else WorkerPool(engine.num_workers)
+        self.pool = (
+            pool
+            if pool is not None
+            else WorkerPool(engine.num_workers, transport=engine.transport)
+        )
+        self._seq = 0  # current superstep's ring-vote sequence (shm only)
 
     # -- template entry: poison the pool on any escaping error ---------------
     def run(self, **kwargs):
@@ -114,18 +123,36 @@ class ProcessBackend(ExecutorBackend):
                     channel.initialize()
 
     def barrier_vote(self) -> int:
-        self.pool.broadcast({"cmd": "begin"})
-        return sum(
-            int(reply["active"]) for reply in self.pool.gather("superstep begin")
-        )
+        pool = self.pool
+        if pool.transport == "shm":
+            # one broadcast starts the whole superstep; the children vote
+            # through their ring-header slots and proceed autonomously
+            # (or go back to the command loop when the global total is 0)
+            self._seq = pool.next_seq()
+            pool.broadcast(
+                {
+                    "cmd": "superstep",
+                    "seq": self._seq,
+                    "log_frames": self.engine.frame_log is not None,
+                }
+            )
+            return sum(
+                pool.read_vote(w, self._seq) for w in range(pool.num_workers)
+            )
+        pool.broadcast({"cmd": "begin"})
+        return sum(int(reply["active"]) for reply in pool.gather("superstep begin"))
 
     def compute_phase(self) -> None:
+        if self.pool.transport == "shm":
+            return  # already running inside the children's superstep
         # vertex compute, genuinely parallel across processes
         self.pool.broadcast({"cmd": "compute"})
         for w, reply in enumerate(self.pool.gather("compute")):
             self._merge(w, reply)
 
     def exchange_phase(self) -> None:
+        if self.pool.transport == "shm":
+            return self._exchange_phase_shm()
         engine = self.engine
         metrics = engine.metrics
         pool = self.pool
@@ -168,6 +195,56 @@ class ProcessBackend(ExecutorBackend):
             metrics.record_exchange(send_bytes, recv_bytes, local_bytes=local_bytes)
             group_active = next_active
             round_num += 1
+
+        if log_frames:
+            engine.frame_log.append_step(engine.step_num, step_log)
+
+    def _exchange_phase_shm(self) -> None:
+        """Collect the consolidated superstep replies and replay the
+        per-round accounting the children performed off-pipe, producing
+        byte-for-byte the same metrics and frame-log entries as the
+        round-by-round pipe protocol (and the simulator)."""
+        engine = self.engine
+        metrics = engine.metrics
+        pool = self.pool
+        n = engine.num_workers
+        log_frames = engine.frame_log is not None
+        step_log: list[tuple[list[bool], list[list[bytes]]]] = []
+
+        replies = pool.gather("superstep")
+        for w, reply in enumerate(replies):
+            self._merge(w, reply)
+
+        num_rounds = {len(reply["rounds"]) for reply in replies}
+        if len(num_rounds) != 1:  # pragma: no cover - protocol bug guard
+            raise WorkerProcessError(
+                f"workers disagree on exchange round count: {sorted(num_rounds)}"
+            )
+
+        group_active = [True] * engine.num_channels
+        for r in range(num_rounds.pop()):
+            sent = np.zeros((n, n), dtype=np.int64)
+            next_active = [False] * engine.num_channels
+            frames: list[list[bytes]] = []
+            for w, reply in enumerate(replies):
+                rnd = reply["rounds"][r]
+                sent[w] = rnd["sent"]
+                for cid, flag in enumerate(rnd["next_active"]):
+                    if flag:
+                        next_active[cid] = True
+                if log_frames:
+                    frames.append([bytes(b) for b in rnd["frames"]])
+            if log_frames:
+                step_log.append((list(group_active), frames))
+                metrics.record_log_bytes(
+                    sum(len(buf) for row in frames for buf in row)
+                )
+            local_bytes = int(np.trace(sent))
+            send_bytes = sent.sum(axis=1) - np.diag(sent)
+            recv_bytes = sent.sum(axis=0) - np.diag(sent)
+            metrics.record_exchange(send_bytes, recv_bytes, local_bytes=local_bytes)
+            # the same OR-merge every child applied in-stream
+            group_active = next_active
 
         if log_frames:
             engine.frame_log.append_step(engine.step_num, step_log)
@@ -248,6 +325,8 @@ class ProcessBackend(ExecutorBackend):
         the same counting surface the channels use in-process."""
         metrics = self.engine.metrics
         metrics.record_compute(worker_id, reply["seconds"])
+        for phase, seconds in reply.get("phases", {}).items():
+            metrics.record_phase(worker_id, phase, seconds)
         counters = reply["counters"]
         if counters["messages"]:
             metrics.count_messages(counters["messages"])

@@ -41,10 +41,15 @@ import numpy as np
 
 from repro.runtime.parallel.protocol import (
     WorkerProcessError,
+    check_liveness,
     recv_supervised,
     send_msg,
 )
-from repro.runtime.parallel.shm import SharedArrayExport
+from repro.runtime.parallel.shm import (
+    DEFAULT_RING_CAPACITY,
+    RingBuffer,
+    SharedArrayExport,
+)
 from repro.runtime.parallel.worker_proc import worker_main
 
 __all__ = ["WorkerPool"]
@@ -67,7 +72,7 @@ class _PoolState:
     callback (which must not reference the pool itself, or it would keep
     it alive forever)."""
 
-    __slots__ = ("procs", "control", "frame_send", "frame_recv", "export")
+    __slots__ = ("procs", "control", "frame_send", "frame_recv", "rings", "export")
 
     def __init__(self) -> None:
         self.procs: list = []
@@ -77,6 +82,10 @@ class _PoolState:
         # the surviving peers' pipes (and why peers never see EOF)
         self.frame_send: list[dict] = []
         self.frame_recv: list[dict] = []
+        # shm transport: (src, dst) -> RingBuffer, parent-owned (the
+        # parent reads barrier votes from the header slots and unlinks
+        # the segments at shutdown; respawned replacements re-attach)
+        self.rings: dict = {}
         self.export: SharedArrayExport | None = None
 
 
@@ -108,6 +117,11 @@ def _shutdown_state(state: _PoolState) -> None:
             conn.close()
         except Exception:
             pass
+    for ring in state.rings.values():
+        try:
+            ring.close(unlink=True)
+        except Exception:
+            pass
     if state.export is not None:
         try:
             state.export.close()
@@ -117,6 +131,7 @@ def _shutdown_state(state: _PoolState) -> None:
     state.control = []
     state.frame_send = []
     state.frame_recv = []
+    state.rings = {}
     state.export = None
 
 
@@ -128,12 +143,38 @@ class WorkerPool:
     reconfiguring the live children afterwards).  ``spawn_count`` counts
     every worker process ever started — the streaming tests assert it
     stays at ``num_workers`` across a whole multi-epoch run.
+
+    ``transport`` picks the frame data plane: ``"shm"`` (the default)
+    moves codec frames worker-to-worker through per-pair shared-memory
+    ring buffers with barrier votes batched into the ring headers;
+    ``"pipe"`` is the portable fallback over OS pipes with per-peer
+    sender threads.  Both are driven by
+    :class:`~repro.runtime.parallel.backend.ProcessBackend` to
+    bit-identical results.  A single-worker pool has no peers to
+    exchange with, so it always uses the pipe protocol.
+    ``ring_capacity`` sizes each ring's data area in bytes (frames
+    larger than a ring stream through it in chunks).
     """
 
-    def __init__(self, num_workers: int, ctx=None) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        ctx=None,
+        transport: str = "shm",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+    ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
+        if transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pipe', got {transport!r}"
+            )
         self.num_workers = num_workers
+        #: the effective transport ("shm" degenerates to "pipe" at n=1:
+        #: there is no peer traffic for rings to carry)
+        self.transport = transport if num_workers > 1 else "pipe"
+        self.ring_capacity = int(ring_capacity)
+        self._seq = 0  # superstep sequence for ring-slot barrier votes
         self._ctx = ctx if ctx is not None else _mp_context()
         self._state = _PoolState()
         self._finalizer: weakref.finalize | None = None
@@ -225,17 +266,28 @@ class WorkerPool:
         self._cfg = cfg
         self._child_cfg = child_cfg
 
-        # frame pipes: one simplex pipe per ordered worker pair; the
-        # parent retains both ends of every pipe for respawn support
         state.frame_send = [{} for _ in range(n)]
         state.frame_recv = [{} for _ in range(n)]
-        for src in range(n):
-            for dst in range(n):
-                if src == dst:
-                    continue
-                r, s = ctx.Pipe(duplex=False)
-                state.frame_send[src][dst] = s
-                state.frame_recv[dst][src] = r
+        if self.transport == "shm":
+            # one SPSC ring per ordered worker pair; parent-owned so the
+            # segments outlive any individual worker process (a respawned
+            # replacement re-attaches by spec and adopts the cursors)
+            for src in range(n):
+                for dst in range(n):
+                    if src != dst:
+                        state.rings[(src, dst)] = RingBuffer.create(
+                            self.ring_capacity
+                        )
+        else:
+            # frame pipes: one simplex pipe per ordered worker pair; the
+            # parent retains both ends of every pipe for respawn support
+            for src in range(n):
+                for dst in range(n):
+                    if src == dst:
+                        continue
+                    r, s = ctx.Pipe(duplex=False)
+                    state.frame_send[src][dst] = s
+                    state.frame_recv[dst][src] = r
 
         # arm the cleanup before anything starts: a failure partway
         # through the spawn loop must still release the processes already
@@ -252,6 +304,20 @@ class WorkerPool:
         counts = {self._ready(w, "startup") for w in range(n)}
         self._set_num_channels(counts)
 
+    def _ring_args(self, w: int) -> dict | None:
+        """Ring-buffer specs for worker ``w`` (``None`` on pipe pools):
+        the rings it produces into and the rings it consumes from."""
+        if self.transport != "shm":
+            return None
+        rings = self._state.rings
+        n = self.num_workers
+        return {
+            "num_workers": n,
+            "unregister": self._ctx.get_start_method() != "fork",
+            "out": {dst: rings[(w, dst)].spec for dst in range(n) if dst != w},
+            "in": {src: rings[(src, w)].spec for src in range(n) if src != w},
+        }
+
     def _start_process(self, w: int, spawn_cfg: dict) -> None:
         state = self._state
         parent_conn, child_conn = self._ctx.Pipe()
@@ -263,6 +329,7 @@ class WorkerPool:
                 child_conn,
                 state.frame_send[w],
                 state.frame_recv[w],
+                self._ring_args(w),
             ),
             daemon=True,
             name=f"repro-worker-{w}",
@@ -385,6 +452,29 @@ class WorkerPool:
 
     def gather(self, phase: str) -> list[dict]:
         return [self.reply(w, phase) for w in range(self.num_workers)]
+
+    # -- shm-transport barrier plane ----------------------------------------
+    def next_seq(self) -> int:
+        """A fresh superstep sequence number for the ring-slot barrier
+        votes.  Pool-owned and strictly monotonic across runs, rollback
+        rewinds, reconfigurations, and respawns — the slots live in the
+        ring segments, so a stale vote can never satisfy a newer wait."""
+        self._seq += 1
+        return self._seq
+
+    def read_vote(self, w: int, seq: int) -> int:
+        """Worker ``w``'s barrier vote for superstep ``seq``, read from
+        the header slot of one of its outbound rings.  Supervised: a
+        worker dying before it votes raises :class:`WorkerProcessError`
+        (with its scavenged traceback) instead of hanging."""
+        state = self._state
+        ring = state.rings[(w, (w + 1) % self.num_workers)]
+        return ring.read_slot(
+            seq,
+            check=lambda: check_liveness(
+                state.procs, "superstep vote", state.control
+            ),
+        )
 
     # -- teardown ----------------------------------------------------------
     def shutdown(self) -> None:

@@ -19,7 +19,13 @@ from multiprocessing.connection import Connection
 
 from repro.runtime.checkpoint import decode_state, encode_state
 
-__all__ = ["WorkerProcessError", "send_msg", "recv_msg", "recv_supervised"]
+__all__ = [
+    "WorkerProcessError",
+    "send_msg",
+    "recv_msg",
+    "recv_supervised",
+    "check_liveness",
+]
 
 #: seconds between liveness checks while waiting on a reply
 _POLL_INTERVAL = 0.05
@@ -71,6 +77,18 @@ def _death_error(w: int, proc, phase: str, conn: Connection | None) -> WorkerPro
     )
 
 
+def check_liveness(procs, phase: str, conns=None) -> None:
+    """Raise :class:`WorkerProcessError` if any worker process is dead
+    (scavenging its buffered traceback when ``conns`` is given).  This is
+    the supervision predicate shared by :func:`recv_supervised`'s poll
+    loop and the shm transport's blocking ring waits."""
+    for w, proc in enumerate(procs):
+        if not proc.is_alive():
+            raise _death_error(
+                w, proc, phase, conns[w] if conns is not None else None
+            )
+
+
 def recv_supervised(
     conn: Connection, worker_id: int, procs, phase: str, conns=None
 ) -> dict:
@@ -88,11 +106,7 @@ def recv_supervised(
     """
     try:
         while not conn.poll(_POLL_INTERVAL):
-            for w, proc in enumerate(procs):
-                if not proc.is_alive():
-                    raise _death_error(
-                        w, proc, phase, conns[w] if conns is not None else None
-                    )
+            check_liveness(procs, phase, conns)
         msg = recv_msg(conn)
     except EOFError:
         # the awaited worker's pipe closed without a reply: it died

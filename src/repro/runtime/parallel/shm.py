@@ -1,19 +1,37 @@
-"""Read-only NumPy arrays over ``multiprocessing.shared_memory``.
+"""Shared-memory primitives: read-only array export and SPSC ring buffers.
 
-The parent exports each array once (one copy into a fresh segment); every
-worker process attaches by name and gets a read-only zero-copy view.  The
-specs that travel to the children are plain ``(name, dtype, shape)``
-tuples, so they cross the control pipes through the same tagged-binary
-codec as everything else.
+Two independent facilities live here:
+
+* **Array export** (:class:`SharedArrayExport` / :func:`attach_array`) —
+  the parent exports each array once (one copy into a fresh segment);
+  every worker process attaches by name and gets a read-only zero-copy
+  view.  The specs that travel to the children are plain
+  ``(name, dtype, shape)`` tuples, so they cross the control pipes
+  through the same tagged-binary codec as everything else.
+
+* **Ring buffers** (:class:`RingBuffer`) — single-producer /
+  single-consumer byte FIFOs over a ``SharedMemory`` segment, the data
+  plane of the process backend's ``transport="shm"`` mode.  Codec frame
+  bytes flow worker-to-worker through these rings instead of through OS
+  pipes; a small fixed *slot* in each ring's header carries the batched
+  barrier votes (see ARCHITECTURE.md §9).
 """
 
 from __future__ import annotations
 
+import struct
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["SharedArrayExport", "attach_array"]
+__all__ = [
+    "SharedArrayExport",
+    "attach_array",
+    "RingBuffer",
+    "RingTimeout",
+    "DEFAULT_RING_CAPACITY",
+]
 
 
 def _spec(name: str, arr: np.ndarray) -> dict:
@@ -78,13 +96,255 @@ def attach_array(
     """
     seg = shared_memory.SharedMemory(name=spec["name"])
     if unregister:
-        try:  # pragma: no cover - spawn-only path
-            from multiprocessing import resource_tracker
-
-            resource_tracker.unregister(seg._name, "shared_memory")
-        except Exception:
-            pass
+        _untrack(seg)
     shape = tuple(spec["shape"])
     arr = np.ndarray(shape, dtype=np.dtype(spec["dtype"]), buffer=seg.buf)
     arr.flags.writeable = False
     return arr, seg
+
+
+def _untrack(seg: shared_memory.SharedMemory) -> None:
+    """Drop a spawned child's private resource-tracker claim on a segment
+    the parent owns (bpo-39959; see :func:`attach_array`)."""
+    try:  # pragma: no cover - spawn-only path
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# SPSC ring buffers (transport="shm" data plane)
+# ---------------------------------------------------------------------------
+
+#: default per-ring data capacity; big enough that a typical superstep's
+#: frames to one peer fit without wrapping, small enough that an 8-worker
+#: pool's 56 rings stay modest (56 MiB)
+DEFAULT_RING_CAPACITY = 1 << 20
+
+# header layout: the producer-owned and consumer-owned cursors sit on
+# separate cache lines so the two processes never write the same line
+_OFF_HEAD = 0  # consumer cursor (monotonic, u64) — written by the reader
+_OFF_TAIL = 64  # producer cursor (monotonic, u64) — written by the writer
+_OFF_SLOT_SEQ = 128  # seqlock for the vote slot — written by the writer
+_OFF_SLOT_VAL = 136  # vote slot payload (u64) — written by the writer
+_HEADER_SIZE = 192
+
+_U64 = struct.Struct("<Q")
+
+#: spin iterations before the wait loops start sleeping
+_SPIN = 200
+#: ceiling for the backoff sleep (keeps peer-death detection prompt)
+_MAX_SLEEP = 0.002
+
+
+class RingTimeout(RuntimeError):
+    """A blocking ring operation exceeded its deadline (e.g. the peer
+    process died and will never produce/consume another byte)."""
+
+
+class RingBuffer:
+    """A single-producer/single-consumer byte FIFO in shared memory.
+
+    The ring is a plain byte stream: ``write_some``/``read_some`` are the
+    non-blocking primitives (move as many bytes as space/data allow) that
+    the frame transport's pump interleaves across peers, and
+    ``write_all``/``read_exact``/``send``/``recv`` are blocking helpers
+    built on a spin-then-backoff wait (no futexes, no OS handles to
+    inherit — everything lives in the segment, so a respawned replacement
+    worker adopts the live cursors just by attaching).
+
+    Cursors are monotonic u64s (data offset = cursor mod capacity), so
+    "empty" (head == tail) and "exactly full" (tail - head == capacity)
+    are distinct without a wasted byte.  Exactly one process may write
+    (tail, slot) and exactly one may advance head; any number may *read*
+    the slot — the parent observes barrier votes through it without
+    consuming stream bytes.
+
+    Blocking waits take an optional ``check`` callable, invoked
+    periodically once the wait starts sleeping; it may raise to abort the
+    wait (the parent raises ``WorkerProcessError`` from its process-
+    liveness check, which is how a writer dying mid-frame surfaces
+    instead of hanging), and a ``timeout`` in seconds after which
+    :class:`RingTimeout` is raised.
+    """
+
+    __slots__ = ("_seg", "_buf", "capacity", "spec")
+
+    def __init__(self, seg: shared_memory.SharedMemory, capacity: int) -> None:
+        self._seg = seg
+        self._buf = seg.buf
+        self.capacity = int(capacity)
+        self.spec = {"name": seg.name, "capacity": int(capacity)}
+
+    # -- lifecycle -----------------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_RING_CAPACITY) -> "RingBuffer":
+        if capacity < 16:
+            raise ValueError("ring capacity must be at least 16 bytes")
+        seg = shared_memory.SharedMemory(create=True, size=_HEADER_SIZE + capacity)
+        seg.buf[:_HEADER_SIZE] = bytes(_HEADER_SIZE)
+        return cls(seg, capacity)
+
+    @classmethod
+    def attach(cls, spec: dict, unregister: bool = False) -> "RingBuffer":
+        seg = shared_memory.SharedMemory(name=spec["name"])
+        if unregister:
+            _untrack(seg)
+        return cls(seg, spec["capacity"])
+
+    def close(self, unlink: bool = False) -> None:
+        try:
+            self._buf = None
+            self._seg.close()
+            if unlink:
+                self._seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    # -- cursor access ---------------------------------------------------------
+    def _load(self, off: int) -> int:
+        return _U64.unpack_from(self._buf, off)[0]
+
+    def _store(self, off: int, value: int) -> None:
+        _U64.pack_into(self._buf, off, value)
+
+    @property
+    def pending(self) -> int:
+        """Bytes currently buffered (written but not yet consumed)."""
+        return self._load(_OFF_TAIL) - self._load(_OFF_HEAD)
+
+    # -- non-blocking primitives ----------------------------------------------
+    def write_some(self, data) -> int:
+        """Copy as much of ``data`` into the ring as fits; returns the
+        number of bytes consumed from ``data`` (0 when full)."""
+        head = self._load(_OFF_HEAD)
+        tail = self._load(_OFF_TAIL)
+        space = self.capacity - (tail - head)
+        if space <= 0:
+            return 0
+        data = memoryview(data)
+        n = min(space, len(data))
+        pos = tail % self.capacity
+        first = min(n, self.capacity - pos)
+        base = _HEADER_SIZE
+        self._buf[base + pos : base + pos + first] = data[:first]
+        if n > first:
+            self._buf[base : base + (n - first)] = data[first:n]
+        # publish after the payload copy: the consumer only trusts bytes
+        # below tail
+        self._store(_OFF_TAIL, tail + n)
+        return n
+
+    def read_some(self, max_bytes: int | None = None) -> bytes:
+        """Consume up to ``max_bytes`` available bytes (b"" when empty)."""
+        head = self._load(_OFF_HEAD)
+        tail = self._load(_OFF_TAIL)
+        avail = tail - head
+        if avail <= 0:
+            return b""
+        n = avail if max_bytes is None else min(avail, max_bytes)
+        pos = head % self.capacity
+        first = min(n, self.capacity - pos)
+        base = _HEADER_SIZE
+        if n > first:
+            out = bytes(self._buf[base + pos : base + pos + first]) + bytes(
+                self._buf[base : base + (n - first)]
+            )
+        else:
+            out = bytes(self._buf[base + pos : base + pos + n])
+        self._store(_OFF_HEAD, head + n)
+        return out
+
+    # -- the vote slot ----------------------------------------------------------
+    def write_slot(self, seq: int, value: int) -> None:
+        """Publish ``value`` under sequence number ``seq`` (writer only).
+        Readers spinning on ``seq`` see the payload fully written first."""
+        self._store(_OFF_SLOT_VAL, value)
+        self._store(_OFF_SLOT_SEQ, seq)
+
+    def peek_slot(self) -> tuple[int, int]:
+        """(seq, value) currently published — non-blocking, non-consuming."""
+        seq = self._load(_OFF_SLOT_SEQ)
+        return seq, self._load(_OFF_SLOT_VAL)
+
+    def read_slot(self, seq: int, check=None, timeout: float | None = None) -> int:
+        """Block until the slot reaches sequence ``seq``; returns its value."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        spins = 0
+        while True:
+            have, value = self.peek_slot()
+            if have >= seq:
+                return value
+            spins += 1
+            if spins > _SPIN:
+                time.sleep(min(_MAX_SLEEP, 5e-5 * (spins - _SPIN)))
+                if check is not None:
+                    check()
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise RingTimeout(
+                        f"vote slot never reached seq {seq} (stuck at {have})"
+                    )
+
+    # -- blocking helpers ---------------------------------------------------------
+    def write_all(self, data, check=None, timeout: float | None = None) -> None:
+        """Write all of ``data``, spinning/backing off while the ring is
+        full.  Frames larger than the ring stream through in chunks."""
+        data = memoryview(data)
+        off = 0
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        spins = 0
+        while off < len(data):
+            n = self.write_some(data[off:])
+            if n:
+                off += n
+                spins = 0
+                continue
+            spins += 1
+            if spins > _SPIN:
+                time.sleep(min(_MAX_SLEEP, 5e-5 * (spins - _SPIN)))
+                if check is not None:
+                    check()
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise RingTimeout(
+                        f"ring full for {timeout}s ({len(data) - off} bytes unsent)"
+                    )
+
+    def read_exact(self, n: int, check=None, timeout: float | None = None) -> bytes:
+        """Read exactly ``n`` bytes, blocking until the writer provides
+        them.  ``check`` fires while waiting — this is where a reader
+        notices the writer died mid-frame instead of hanging."""
+        parts: list[bytes] = []
+        got = 0
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        spins = 0
+        while got < n:
+            chunk = self.read_some(n - got)
+            if chunk:
+                parts.append(chunk)
+                got += len(chunk)
+                spins = 0
+                continue
+            spins += 1
+            if spins > _SPIN:
+                time.sleep(min(_MAX_SLEEP, 5e-5 * (spins - _SPIN)))
+                if check is not None:
+                    check()
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise RingTimeout(
+                        f"writer stalled: got {got} of {n} expected bytes"
+                    )
+        return b"".join(parts)
+
+    # -- framed messages (length-prefixed), used by tests and small payloads -------
+    def send(self, payload, check=None, timeout: float | None = None) -> None:
+        self.write_all(_U64.pack(len(payload)), check, timeout)
+        self.write_all(payload, check, timeout)
+
+    def recv(self, check=None, timeout: float | None = None) -> bytes:
+        (length,) = _U64.unpack(self.read_exact(8, check, timeout))
+        return self.read_exact(length, check, timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingBuffer({self.spec['name']}, cap={self.capacity}, pending={self.pending})"

@@ -25,6 +25,16 @@ Run-loop commands (one superstep = ``begin`` / ``compute`` / ``exchange``\\*):
     themselves when ``log_frames`` is set, feeding the parent's
     sender-side :class:`~repro.core.recovery.FrameLog` for confined
     recovery.
+``superstep`` (``transport="shm"`` pools only)
+    The batched alternative to the three commands above: the child runs
+    the *whole* superstep autonomously — barrier vote through the ring
+    header slots, compute, every exchange round with frames flowing
+    worker-to-worker through shared-memory ring buffers
+    (:class:`~repro.runtime.parallel.shm.RingBuffer`), and round
+    continuation merged from in-stream votes — then sends one
+    consolidated reply carrying the per-round byte counts, frame logs,
+    and phase timings.  A superstep costs O(peers) control-pipe
+    messages instead of O(rounds × workers); see ARCHITECTURE.md §9.
 ``finalize``
     Ship ``program.finalize()`` — and, when state sync is requested, the
     full per-worker state in the checkpoint layer's capture format —
@@ -71,11 +81,14 @@ from __future__ import annotations
 import gc
 import os
 import pickle
+import struct
 import threading
 import time
 import traceback
+from collections import deque
 
 import numpy as np
+
 
 from repro.core.worker import Worker
 from repro.graph.graph import Graph
@@ -86,9 +99,14 @@ from repro.runtime.checkpoint import (
     load_worker_state,
 )
 from repro.runtime.parallel.protocol import recv_msg, send_msg
-from repro.runtime.parallel.shm import attach_array
+from repro.runtime.parallel.shm import RingBuffer, attach_array
 
 __all__ = ["worker_main"]
+
+_U64 = struct.Struct("<Q")
+
+#: pump-loop spin budget before backing off to sleeps
+_SPIN = 200
 
 
 class _ChildCounters:
@@ -174,11 +192,244 @@ def _exchange_frames(
     return inbox
 
 
+class _RingPeer:
+    """Per-peer transport state: the outbound send queue and the inbound
+    incremental record parser (see :class:`_RingTransport`)."""
+
+    __slots__ = ("out_ring", "in_ring", "pending", "buf", "state", "need",
+                 "parts", "votes", "sent", "logged")
+
+    def __init__(self, out_ring: RingBuffer, in_ring: RingBuffer) -> None:
+        self.out_ring = out_ring
+        self.in_ring = in_ring
+        self.pending: deque = deque()  # memoryviews not yet in the ring
+        self.buf = bytearray()  # drained but not yet parsed inbound bytes
+        self.state = "len"  # "len" | "chunk" | "votes" | "done"
+        self.need = 0
+        self.parts: list[bytes] = []  # this round's received chunk payloads
+        self.votes: bytes | None = None  # this round's received votes record
+        self.sent = 0  # bytes queued to this peer this round
+        self.logged: list[bytes] = []  # this round's outbound chunks (frame log)
+
+
+class _RingTransport:
+    """The child side of ``transport="shm"``: one outbound SPSC ring per
+    peer (this worker produces) and one inbound ring per peer (this
+    worker consumes), pumped from the main thread — no sender threads.
+
+    Wire format, per exchange round and directed pair: a sequence of
+    ``[u64 length > 0][payload]`` chunks (one per channel flush, so a
+    channel's frames publish while later channels are still
+    serializing), a ``u64 0`` end-of-round marker, then — after the
+    consumer finished deserializing — one *votes record* of
+    ``num_channels`` raw bytes (this worker's per-channel
+    another-round votes).  Every worker merges the votes identically
+    (OR across all workers, its own included), so all children agree on
+    the next round's active channel groups without asking the parent.
+
+    Barrier votes ride the rings too: each superstep, the worker
+    publishes its active-vertex count into every outbound ring's header
+    slot under the parent-issued sequence number, then reads every
+    peer's slot — again, all processes independently compute the same
+    global total (the parent reads one slot per worker for its copy).
+
+    Everything here is single-threaded and non-blocking at the
+    primitive level: :meth:`pump` moves whatever bytes fit right now,
+    in both directions, across all peers.  Blocking composites
+    (:meth:`finish_round`, :meth:`exchange_votes`) loop the pump, so a
+    full outbound ring can never deadlock against an unread inbound
+    ring.  Waits carry no liveness checks — a peer dying mid-frame
+    leaves this worker spinning, and the *parent's* supervision (which
+    polls every PID while gathering replies) surfaces the death and
+    tears the pool down, exactly as on the pipe path.
+    """
+
+    def __init__(self, worker_id: int, num_workers: int,
+                 out_rings: dict[int, RingBuffer], in_rings: dict[int, RingBuffer]):
+        self.worker_id = worker_id
+        self.num_workers = num_workers
+        self.peers = {
+            peer: _RingPeer(out_rings[peer], in_rings[peer])
+            for peer in range(num_workers)
+            if peer != worker_id
+        }
+        self.nchan = 0
+        self.log_frames = False
+        self._self_parts: list[bytes] = []
+        self._self_sent = 0
+
+    # -- barrier votes ------------------------------------------------------
+    def vote_and_total(self, seq: int, my_active: int) -> int:
+        for p in self.peers.values():
+            p.out_ring.write_slot(seq, my_active)
+        total = my_active
+        for p in self.peers.values():
+            total += p.in_ring.read_slot(seq)
+        return total
+
+    # -- the pump -----------------------------------------------------------
+    def _parse(self, p: _RingPeer) -> None:
+        buf = p.buf
+        while True:
+            if p.state == "len":
+                if len(buf) < 8:
+                    return
+                (n,) = _U64.unpack_from(buf, 0)
+                del buf[:8]
+                if n == 0:
+                    p.state, p.need = "votes", self.nchan
+                else:
+                    p.state, p.need = "chunk", n
+            elif p.state == "chunk":
+                if len(buf) < p.need:
+                    return
+                p.parts.append(bytes(buf[: p.need]))
+                del buf[: p.need]
+                p.state = "len"
+            elif p.state == "votes":
+                if len(buf) < p.need:
+                    return
+                p.votes = bytes(buf[: p.need])
+                del buf[: p.need]
+                p.state = "done"
+            else:  # "done": anything further is next round's lookahead
+                return
+
+    def pump(self) -> bool:
+        """One non-blocking pass over every peer: drain inbound rings into
+        the parsers, push queued outbound bytes into rings with space.
+        Returns whether any byte moved (the backoff signal)."""
+        progress = False
+        for p in self.peers.values():
+            data = p.in_ring.read_some()
+            if data:
+                p.buf += data
+                self._parse(p)
+                progress = True
+            while p.pending:
+                mv = p.pending[0]
+                n = p.out_ring.write_some(mv)
+                if n == 0:
+                    break
+                progress = True
+                if n == len(mv):
+                    p.pending.popleft()
+                else:
+                    p.pending[0] = mv[n:]
+        return progress
+
+    def _pump_until(self, done) -> None:
+        spins = 0
+        while not done():
+            if self.pump():
+                spins = 0
+                continue
+            spins += 1
+            if spins > _SPIN:
+                time.sleep(min(0.002, 5e-5 * (spins - _SPIN)))
+
+    # -- round lifecycle ------------------------------------------------------
+    def begin_round(self, nchan: int, log_frames: bool) -> None:
+        self.nchan = nchan
+        self.log_frames = log_frames
+        self._self_parts = []
+        self._self_sent = 0
+        for p in self.peers.values():
+            p.parts = []
+            p.votes = None
+            p.sent = 0
+            p.logged = []
+            p.state = "len"
+            # a fast peer may already have published this round's chunks
+            # (they queue behind the previous round's votes record)
+            self._parse(p)
+
+    def publish(self, out_writers) -> None:
+        """Queue whatever the channels appended to the per-peer writers
+        since the last call, then pump once — this is the overlap hook,
+        called after *each* channel's ``serialize`` so its frames hit the
+        rings while later channels are still computing theirs."""
+        for peer in range(self.num_workers):
+            writer = out_writers[peer]
+            if not writer.nbytes:
+                continue
+            data = writer.getvalue()
+            writer.clear()
+            if peer == self.worker_id:
+                self._self_parts.append(data)
+                self._self_sent += len(data)
+                continue
+            p = self.peers[peer]
+            p.sent += len(data)
+            if self.log_frames:
+                p.logged.append(data)
+            p.pending.append(memoryview(_U64.pack(len(data))))
+            p.pending.append(memoryview(data))
+        self.pump()
+
+    def finish_round(self) -> list[bytes]:
+        """Terminate this round's outbound streams and pump until every
+        peer's inbound stream is complete; returns the round's inbox."""
+        for p in self.peers.values():
+            p.pending.append(memoryview(_U64.pack(0)))
+        self._pump_until(
+            lambda: all(
+                not p.pending and p.state in ("votes", "done")
+                for p in self.peers.values()
+            )
+        )
+        inbox = [b""] * self.num_workers
+        inbox[self.worker_id] = b"".join(self._self_parts)
+        for peer, p in self.peers.items():
+            inbox[peer] = p.parts[0] if len(p.parts) == 1 else b"".join(p.parts)
+        return inbox
+
+    def exchange_votes(self, next_active: list[bool]) -> list[bool]:
+        """Swap this round's another-round votes with every peer and
+        return the merged (global OR) channel-group activity."""
+        record = bytes(bytearray(1 if f else 0 for f in next_active))
+        for p in self.peers.values():
+            p.pending.append(memoryview(record))
+        self._pump_until(
+            lambda: all(
+                not p.pending and p.votes is not None
+                for p in self.peers.values()
+            )
+        )
+        merged = list(next_active)
+        for p in self.peers.values():
+            for cid in range(self.nchan):
+                if p.votes[cid]:
+                    merged[cid] = True
+        return merged
+
+    # -- per-round accounting for the consolidated reply ----------------------
+    def round_sent(self) -> np.ndarray:
+        sent = np.zeros(self.num_workers, dtype=np.int64)
+        sent[self.worker_id] = self._self_sent
+        for peer, p in self.peers.items():
+            sent[peer] = p.sent
+        return sent
+
+    def round_frames(self) -> list[bytes]:
+        frames = [b""] * self.num_workers
+        for peer, p in self.peers.items():
+            frames[peer] = b"".join(p.logged)
+        return frames
+
+    def close(self) -> None:
+        for p in self.peers.values():
+            p.out_ring.close()
+            p.in_ring.close()
+
+
 class _WorkerProcess:
     """One child's whole runtime: shared-memory attachments, the Worker,
     and the command dispatch loop."""
 
-    def __init__(self, worker_id: int, conn, send_conns: dict, recv_conns: dict):
+    def __init__(
+        self, worker_id: int, conn, send_conns: dict, recv_conns: dict, rings=None
+    ):
         self.worker_id = worker_id
         self.conn = conn
         self.send_conns = send_conns
@@ -187,6 +438,15 @@ class _WorkerProcess:
         self.worker: Worker | None = None
         self.host: _WorkerHost | None = None
         self.active = np.empty(0, dtype=np.int64)
+        self.transport: _RingTransport | None = None
+        if rings is not None:
+            unreg = rings["unregister"]
+            self.transport = _RingTransport(
+                worker_id,
+                rings["num_workers"],
+                {int(p): RingBuffer.attach(s, unreg) for p, s in rings["out"].items()},
+                {int(p): RingBuffer.attach(s, unreg) for p, s in rings["in"].items()},
+            )
 
     # -- (re)configuration ---------------------------------------------------
     def build(self, cfg: dict, factory) -> int:
@@ -251,6 +511,11 @@ class _WorkerProcess:
         return len(worker.channels)
 
     def close(self) -> None:
+        if self.transport is not None:
+            try:
+                self.transport.close()
+            except Exception:  # pragma: no cover
+                pass
         for seg in self.segments:
             try:
                 seg.close()
@@ -280,7 +545,14 @@ class _WorkerProcess:
                 t0 = time.perf_counter()
                 worker.run_compute(self.active)
                 seconds = time.perf_counter() - t0
-                send_msg(conn, {"seconds": seconds, "counters": counters.flush()})
+                send_msg(
+                    conn,
+                    {
+                        "seconds": seconds,
+                        "phases": {"compute": seconds},
+                        "counters": counters.flush(),
+                    },
+                )
 
             elif cmd == "exchange":
                 group_active = msg["group_active"]
@@ -298,9 +570,11 @@ class _WorkerProcess:
                     writer.clear()
                 seconds = time.perf_counter() - t0
 
+                t_wire = time.perf_counter()
                 inbox = _exchange_frames(
                     worker_id, num_workers, out_bufs, self.send_conns, self.recv_conns
                 )
+                wire_seconds = time.perf_counter() - t_wire
                 worker.buffers.inbox = inbox
 
                 t0 = time.perf_counter()
@@ -319,6 +593,7 @@ class _WorkerProcess:
                     "sent": np.array([len(b) for b in out_bufs], dtype=np.int64),
                     "next_active": next_active,
                     "seconds": seconds,
+                    "phases": {"serialize": seconds, "exchange": wire_seconds},
                     "counters": counters.flush(),
                 }
                 if msg["log_frames"]:
@@ -330,6 +605,92 @@ class _WorkerProcess:
                         for peer in range(num_workers)
                     ]
                 send_msg(conn, reply)
+
+            elif cmd == "superstep":
+                # transport="shm": the whole superstep runs autonomously —
+                # barrier votes through the ring slots, frames through the
+                # rings, channel-group continuation merged identically by
+                # every worker — and the parent gets ONE consolidated
+                # reply (or none at all when the global vote was 0)
+                transport = self.transport
+                worker.program.before_superstep()
+                self.active = worker.begin_superstep()
+                my_active = int(self.active.size)
+                total = transport.vote_and_total(msg["seq"], my_active)
+                if total == 0:
+                    continue  # the parent reads the same votes; run over
+
+                log_frames = msg["log_frames"]
+                host.step_num += 1
+                t0 = time.perf_counter()
+                worker.run_compute(self.active)
+                compute_s = time.perf_counter() - t0
+
+                nchan = len(worker.channels)
+                for channel in worker.channels:
+                    channel.reset_round()
+                group_active = [True] * nchan
+                rounds: list[dict] = []
+                codec_s = 0.0  # serialize + deserialize (matches sim/pipe
+                #                accounting: this is what record_compute sees)
+                wire_s = 0.0  # ring pumping: pure transport
+
+                while any(group_active):
+                    transport.begin_round(nchan, log_frames)
+                    for cid, channel in enumerate(worker.channels):
+                        if group_active[cid]:
+                            t0 = time.perf_counter()
+                            channel.serialize()
+                            t1 = time.perf_counter()
+                            codec_s += t1 - t0
+                            # overlap: this channel's frames start crossing
+                            # while the next channel is still serializing
+                            transport.publish(worker.buffers.out)
+                            wire_s += time.perf_counter() - t1
+                    t0 = time.perf_counter()
+                    worker.buffers.inbox = transport.finish_round()
+                    t1 = time.perf_counter()
+                    wire_s += t1 - t0
+
+                    routed = worker.route_inbox()
+                    next_active = [False] * nchan
+                    for cid, channel in enumerate(worker.channels):
+                        if group_active[cid]:
+                            channel.deserialize(routed.get(cid, []))
+                            if channel.again():
+                                next_active[cid] = True
+                        elif cid in routed:  # pragma: no cover - defensive
+                            raise RuntimeError(
+                                f"data arrived for inactive channel {cid}"
+                            )
+                    t0 = time.perf_counter()
+                    codec_s += t0 - t1
+
+                    group_active = transport.exchange_votes(next_active)
+                    wire_s += time.perf_counter() - t0
+
+                    record = {
+                        "sent": transport.round_sent(),
+                        "next_active": next_active,
+                    }
+                    if log_frames:
+                        record["frames"] = transport.round_frames()
+                    rounds.append(record)
+
+                send_msg(
+                    conn,
+                    {
+                        "active": my_active,
+                        "rounds": rounds,
+                        "seconds": compute_s + codec_s,
+                        "phases": {
+                            "compute": compute_s,
+                            "serialize": codec_s,
+                            "exchange": wire_s,
+                        },
+                        "counters": counters.flush(),
+                    },
+                )
 
             elif cmd == "start_run":
                 for channel in worker.channels:
@@ -370,16 +731,25 @@ class _WorkerProcess:
                 raise RuntimeError(f"unknown command {cmd!r}")
 
 
-def worker_main(worker_id: int, cfg: dict, conn, send_conns: dict, recv_conns: dict) -> None:
+def worker_main(
+    worker_id: int,
+    cfg: dict,
+    conn,
+    send_conns: dict,
+    recv_conns: dict,
+    rings: dict | None = None,
+) -> None:
     """Child-process entry point; never raises (errors go to the parent).
 
     ``cfg`` is the spawn-time configuration (shared-array specs plus the
     first run's ``program_factory``, which rides through the process
     start machinery — under ``fork`` it never crosses a pipe, so
     closures and locally defined classes work).  Later configurations
-    arrive as ``configure`` commands instead.
+    arrive as ``configure`` commands instead.  ``rings`` (shm transport
+    only) carries the per-peer ring-buffer specs — pool-lifetime, so a
+    respawned replacement re-attaches the same segments.
     """
-    proc = _WorkerProcess(worker_id, conn, send_conns, recv_conns)
+    proc = _WorkerProcess(worker_id, conn, send_conns, recv_conns, rings)
     try:
         num_channels = proc.build(cfg, cfg["program_factory"])
         send_msg(conn, {"ready": True, "num_channels": num_channels})

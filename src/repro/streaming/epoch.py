@@ -96,6 +96,10 @@ class EpochEngine:
         across all epochs; ``False`` spawns a fresh pool per epoch — the
         honest respawn-per-epoch baseline the pool-amortization benchmark
         compares against.
+    transport:
+        Process executor only: the worker-to-worker frame data plane,
+        ``"shm"`` (default) or ``"pipe"`` — see
+        :class:`~repro.core.engine.ChannelEngine`.
     """
 
     def __init__(
@@ -110,11 +114,14 @@ class EpochEngine:
         partition_seed: int = 0,
         executor: str = "sim",
         pool_reuse: bool = True,
+        transport: str | None = None,
     ) -> None:
         if refresh not in REFRESH_MODES:
             raise ValueError(f"refresh must be one of {REFRESH_MODES}, got {refresh!r}")
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        ChannelEngine.validate_options(executor=executor, transport=transport)
+        self.transport = transport
         self.delta = DeltaGraph(graph, compact_threshold=compact_threshold)
         self.algorithm = algorithm
         self.num_workers = num_workers
@@ -220,7 +227,10 @@ class EpochEngine:
         if self.pool is None or not self.pool_reuse:
             if self.pool is not None:
                 self.pool.shutdown()
-            self.pool = WorkerPool(self.num_workers)
+            self.pool = WorkerPool(
+                self.num_workers,
+                transport=self.transport if self.transport is not None else "shm",
+            )
         return {"executor": "process", "pool": self.pool, "sync_state": True}
 
     def close(self) -> None:

@@ -1,0 +1,172 @@
+"""The benchmark regression gate and provenance guard.
+
+``benchmarks/check_regression.py`` is what CI runs between a fresh
+``BENCH_parallel*.json`` and the committed baseline; these tests pin its
+contract: parity failures always gate, wall-time only gates when both
+artifacts measured real parallelism, and a dirty-tree artifact is never
+acceptable.  ``benchmarks/_provenance.py`` is the producer-side half of
+the same guarantee.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, _BENCH_DIR / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+check_regression = _load("check_regression")
+_provenance = _load("_provenance")
+
+
+def _artifact(**overrides) -> dict:
+    base = {
+        "dataset": "bulk-100k",
+        "workers": [2, 8],
+        "seed": 0,
+        "cpus": 2,
+        "speedup_valid": True,
+        "git": "abc1234",
+        "rows": [
+            {
+                "workload": "pr-scatter-bulk",
+                "workers": 2,
+                "supersteps": 11,
+                "net_mb": 2.64,
+                "sim_wall_s": 0.05,
+                "pipe_wall_s": 0.15,
+                "shm_wall_s": 0.08,
+                "speedup_shm_vs_sim": 0.62,
+                "speedup_shm_vs_pipe": 1.87,
+                "parity_pipe": True,
+                "parity_shm": True,
+            },
+            {
+                "workload": "wcc-bulk",
+                "workers": 8,
+                "supersteps": 25,
+                "net_mb": 8.913,
+                "sim_wall_s": 0.17,
+                "pipe_wall_s": 0.40,
+                "shm_wall_s": 0.30,
+                "speedup_shm_vs_sim": 0.57,
+                "speedup_shm_vs_pipe": 1.33,
+                "parity_pipe": True,
+                "parity_shm": True,
+            },
+        ],
+        "amortization": [
+            {"mode": "persistent-pool", "identical": True},
+            {"mode": "respawn-per-epoch", "identical": True},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCheckRegression:
+    def test_identical_artifacts_pass(self):
+        art = _artifact()
+        assert check_regression.check(art, copy.deepcopy(art)) == []
+
+    def test_parity_failure_always_gates(self):
+        fresh = _artifact(speedup_valid=False)  # even with no cores
+        fresh["rows"][0]["parity_shm"] = False
+        base = _artifact(speedup_valid=False)
+        failures = check_regression.check(fresh, base)
+        assert any("broke sim parity" in f for f in failures)
+
+    def test_changed_work_gates(self):
+        fresh = _artifact()
+        fresh["rows"][1]["supersteps"] = 99
+        failures = check_regression.check(fresh, _artifact())
+        assert any("supersteps changed" in f for f in failures)
+
+    def test_dirty_tree_gates(self):
+        fresh = _artifact(dirty_tree=True, git="abc1234-dirty")
+        failures = check_regression.check(fresh, _artifact())
+        assert any("dirty tree" in f for f in failures)
+
+    def test_wall_time_regression_gates_when_valid(self):
+        fresh = _artifact()
+        fresh["rows"][0]["shm_wall_s"] = 10.0
+        failures = check_regression.check(fresh, _artifact(), tolerance=1.5)
+        assert any("shm_wall_s regressed" in f for f in failures)
+
+    def test_wall_time_skipped_without_real_cores(self):
+        # the same 125x blowup is NOT a failure when either side ran on
+        # one CPU — those walls measure protocol overhead, not speed
+        for side in ("fresh", "baseline"):
+            fresh, base = _artifact(), _artifact()
+            fresh["rows"][0]["shm_wall_s"] = 10.0
+            (fresh if side == "fresh" else base)["speedup_valid"] = False
+            # drop the shm-vs-pipe requirement too when fresh is 1-cpu
+            fresh["rows"][0]["speedup_shm_vs_pipe"] = 0.01
+            failures = check_regression.check(fresh, base)
+            assert not any("regressed" in f for f in failures)
+
+    def test_shm_must_beat_pipe_on_real_cores(self):
+        fresh = _artifact()
+        fresh["rows"][0]["speedup_shm_vs_pipe"] = 1.1  # the only 2-worker row
+        failures = check_regression.check(fresh, _artifact(), min_shm_speedup=1.5)
+        assert any("never beat pipe" in f for f in failures)
+
+    def test_subset_smoke_checks_only_shared_rows(self):
+        # CI smoke runs --workers 2 against a committed [2, 8] baseline:
+        # only the 2-worker row is compared, and that's a pass
+        fresh = _artifact(workers=[2])
+        fresh["rows"] = [fresh["rows"][0]]
+        assert check_regression.check(fresh, _artifact()) == []
+
+    def test_different_dataset_is_incomparable(self):
+        failures = check_regression.check(_artifact(dataset="tree"), _artifact())
+        assert any("not comparable" in f for f in failures)
+
+    def test_cli_round_trip(self, tmp_path, capsys):
+        good = tmp_path / "fresh.json"
+        good.write_text(json.dumps(_artifact()))
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_artifact()))
+        assert check_regression.main([str(good), "--baseline", str(base)]) == 0
+        bad = _artifact()
+        bad["rows"][0]["parity_pipe"] = False
+        good.write_text(json.dumps(bad))
+        assert check_regression.main([str(good), "--baseline", str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestProvenance:
+    def test_clean_tree_writes_plain_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(_provenance, "git_describe", lambda: "abc1234")
+        out = tmp_path / "BENCH_x.json"
+        _provenance.write_artifact(out, [{"a": 1}], cpus=2)
+        payload = json.loads(out.read_text())
+        assert payload["git"] == "abc1234"
+        assert "dirty_tree" not in payload
+
+    def test_dirty_tree_is_flagged_loudly(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(_provenance, "git_describe", lambda: "abc1234-dirty")
+        out = tmp_path / "BENCH_x.json"
+        _provenance.write_artifact(out, [{"a": 1}])
+        assert json.loads(out.read_text())["dirty_tree"] is True
+        assert "WARNING" in capsys.readouterr().err
+
+    def test_dirty_tree_refused_when_required_clean(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(_provenance, "git_describe", lambda: "abc1234-dirty")
+        monkeypatch.setenv("REPRO_BENCH_REQUIRE_CLEAN", "1")
+        out = tmp_path / "BENCH_x.json"
+        with pytest.raises(SystemExit, match="refusing to write"):
+            _provenance.write_artifact(out, [{"a": 1}])
+        assert not out.exists()

@@ -1,11 +1,15 @@
 """Process-backend parity matrix and crash behaviour.
 
 ``executor="process"`` must be a pure execution-substrate change: for
-every workload × worker count × partitioner, a process run's result
-data, per-channel traffic (net/local bytes and message counts), and
-superstep/round/byte/message totals are asserted **bit-identical** to
-the simulated run's.  A dying worker process must surface as a clean
-:class:`WorkerProcessError`, never a hang.
+every workload × worker count × partitioner × transport, a process
+run's result data, per-channel traffic (net/local bytes and message
+counts), and superstep/round/byte/message totals are asserted
+**bit-identical** to the simulated run's.  Both frame transports —
+shared-memory ring buffers (``"shm"``, the default) and OS pipes
+(``"pipe"``) — must meet the same bar.  A dying worker process must
+surface as a clean :class:`WorkerProcessError`, never a hang, on either
+transport, including a death while peers sit blocked *inside* a ring
+write.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.runtime.parallel import WorkerProcessError
 
 WORKERS = [2, 8]
 PARTITIONERS = ["hash", "range"]
+TRANSPORTS = ["shm", "pipe"]
 
 
 @pytest.fixture(scope="module")
@@ -57,9 +62,10 @@ def _assert_identical(sim_out, proc_out):
     assert ms.total_messages == mp_.total_messages
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 @pytest.mark.parametrize("partitioner", PARTITIONERS)
 @pytest.mark.parametrize("workers", WORKERS)
-def test_pagerank_scatter_parity(directed_graph, workers, partitioner):
+def test_pagerank_scatter_parity(directed_graph, workers, partitioner, transport):
     kw = dict(
         variant="scatter",
         iterations=8,
@@ -69,13 +75,14 @@ def test_pagerank_scatter_parity(directed_graph, workers, partitioner):
     )
     _assert_identical(
         run_pagerank(directed_graph, **kw),
-        run_pagerank(directed_graph, executor="process", **kw),
+        run_pagerank(directed_graph, executor="process", transport=transport, **kw),
     )
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 @pytest.mark.parametrize("partitioner", PARTITIONERS)
 @pytest.mark.parametrize("workers", WORKERS)
-def test_wcc_parity(directed_graph, workers, partitioner):
+def test_wcc_parity(directed_graph, workers, partitioner, transport):
     kw = dict(
         mode="bulk",
         num_workers=workers,
@@ -83,13 +90,14 @@ def test_wcc_parity(directed_graph, workers, partitioner):
     )
     _assert_identical(
         run_wcc(directed_graph, **kw),
-        run_wcc(directed_graph, executor="process", **kw),
+        run_wcc(directed_graph, executor="process", transport=transport, **kw),
     )
 
 
+@pytest.mark.parametrize("transport", TRANSPORTS)
 @pytest.mark.parametrize("partitioner", PARTITIONERS)
 @pytest.mark.parametrize("workers", WORKERS)
-def test_sssp_parity(weighted_graph, workers, partitioner):
+def test_sssp_parity(weighted_graph, workers, partitioner, transport):
     kw = dict(
         source=3,
         num_workers=workers,
@@ -97,7 +105,7 @@ def test_sssp_parity(weighted_graph, workers, partitioner):
     )
     _assert_identical(
         run_sssp(weighted_graph, **kw),
-        run_sssp(weighted_graph, executor="process", **kw),
+        run_sssp(weighted_graph, executor="process", transport=transport, **kw),
     )
 
 
@@ -163,6 +171,32 @@ class TestEngineIntegration:
     def test_unknown_executor_rejected(self, directed_graph):
         with pytest.raises(ValueError, match="executor"):
             ChannelEngine(directed_graph, object, executor="threads")
+
+    def test_bad_transport_options_rejected(self, directed_graph):
+        with pytest.raises(ValueError, match="transport"):
+            ChannelEngine(
+                directed_graph, object, executor="process", transport="tcp"
+            )
+        # transport is a process-executor knob; sim has no frame plane
+        with pytest.raises(ValueError, match="transport"):
+            ChannelEngine(directed_graph, object, transport="shm")
+
+    def test_pool_transport_mismatch_rejected(self, directed_graph):
+        from repro.runtime.parallel import WorkerPool
+
+        pool = WorkerPool(2, transport="pipe")
+        try:
+            with pytest.raises(ValueError, match="transport"):
+                ChannelEngine(
+                    directed_graph,
+                    object,
+                    num_workers=2,
+                    executor="process",
+                    transport="shm",
+                    pool=pool,
+                )
+        finally:
+            pool.shutdown()
 
     def test_second_run_is_noop_like_sim(self, directed_graph):
         # the persistent pool keeps worker state alive between runs, so a
@@ -256,6 +290,7 @@ class _BombChannel(Channel):
     mid-exchange, the worst place for a death to go unnoticed."""
 
     hard = False  # os._exit (crash) vs raise (error with traceback)
+    frame_bytes = 64
 
     def serialize(self):
         if self.worker.step_num == 2 and self.worker.worker_id == 1:
@@ -264,7 +299,7 @@ class _BombChannel(Channel):
             raise ValueError("boom in serialize")
         for peer in range(self.num_workers):
             if peer != self.worker.worker_id:
-                self.emit(peer, b"x" * 64)
+                self.emit(peer, b"x" * self.frame_bytes)
 
     def deserialize(self, payloads):
         self.round += 1
@@ -296,42 +331,103 @@ class _CrashInExchange(_DieInExchange):
     channel_cls = _HardBombChannel
 
 
+class _RingFloodBombChannel(_HardBombChannel):
+    """Big enough frames that with a deliberately tiny ring every survivor
+    is blocked *inside* ``RingBuffer.write_all`` (full outbound ring, dead
+    consumer) at the moment worker 1 exits."""
+
+    frame_bytes = 64 * 1024
+
+
+class _CrashInRingWrite(_DieInExchange):
+    channel_cls = _RingFloodBombChannel
+
+
 class TestCrashHandling:
-    def test_worker_process_death_surfaces_cleanly(self, directed_graph):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_worker_process_death_surfaces_cleanly(self, directed_graph, transport):
         engine = ChannelEngine(
-            directed_graph, _DieAtSuperstep2, num_workers=4, executor="process"
+            directed_graph,
+            _DieAtSuperstep2,
+            num_workers=4,
+            executor="process",
+            transport=transport,
         )
         with pytest.raises(WorkerProcessError, match=r"worker process 1 died"):
             engine.run()
 
-    def test_child_exception_carries_traceback(self, directed_graph):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_child_exception_carries_traceback(self, directed_graph, transport):
         engine = ChannelEngine(
-            directed_graph, _RaiseAtSuperstep2, num_workers=4, executor="process"
+            directed_graph,
+            _RaiseAtSuperstep2,
+            num_workers=4,
+            executor="process",
+            transport=transport,
         )
         with pytest.raises(WorkerProcessError, match="deliberate child failure"):
             engine.run()
 
-    def test_hard_death_mid_exchange_round_no_hang(self, directed_graph):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_hard_death_mid_exchange_round_no_hang(self, directed_graph, transport):
         # worker 1 exits inside channel.serialize while its peers block on
-        # its frame pipes; supervision must notice the dead process and
-        # abort instead of waiting on a reply that can never come
+        # its frames; supervision must notice the dead process and abort
+        # instead of waiting on a reply that can never come
         engine = ChannelEngine(
-            directed_graph, _CrashInExchange, num_workers=4, executor="process"
+            directed_graph,
+            _CrashInExchange,
+            num_workers=4,
+            executor="process",
+            transport=transport,
         )
         with pytest.raises(
             WorkerProcessError, match=r"worker process 1 died \(exit code 7\)"
         ):
             engine.run()
 
-    def test_exception_mid_exchange_round_keeps_traceback(self, directed_graph):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_exception_mid_exchange_round_keeps_traceback(
+        self, directed_graph, transport
+    ):
         # the dying worker ships its traceback and exits before the parent
         # gets around to reading it; the supervisor must scavenge the
         # buffered error so the cause isn't flattened to "died (exit 0)"
         engine = ChannelEngine(
-            directed_graph, _DieInExchange, num_workers=4, executor="process"
+            directed_graph,
+            _DieInExchange,
+            num_workers=4,
+            executor="process",
+            transport=transport,
         )
         with pytest.raises(WorkerProcessError, match="boom in serialize"):
             engine.run()
+
+    def test_hard_death_with_peers_blocked_in_ring_write(self, directed_graph):
+        # the shm-specific worst case: each survivor's 64 KiB frames are
+        # 64x the 1 KiB rings, so when worker 1 exits its peers are parked
+        # inside RingBuffer.write_all with full outbound rings and a
+        # consumer that will never drain them.  Workers carry no liveness
+        # checks — the parent must notice the death on the control pipes,
+        # raise, and terminate the blocked children at shutdown.
+        from repro.runtime.parallel import WorkerPool
+
+        pool = WorkerPool(4, transport="shm", ring_capacity=1024)
+        engine = ChannelEngine(
+            directed_graph,
+            _CrashInRingWrite,
+            num_workers=4,
+            executor="process",
+            pool=pool,
+        )
+        try:
+            with pytest.raises(
+                WorkerProcessError, match=r"worker process 1 died \(exit code 7\)"
+            ):
+                engine.run()
+            assert pool.broken
+        finally:
+            pool.shutdown()
+        assert all(not p.is_alive() for p in pool._state.procs)
 
     def test_crash_poisons_the_pool(self, directed_graph):
         engine = ChannelEngine(
