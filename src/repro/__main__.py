@@ -12,6 +12,9 @@ Examples::
         --checkpoint-every 2 --fail 1:3 --recovery confined
     python -m repro stream pagerank --dataset stream-road --updates u.txt \\
         --epoch-size 200 --refresh incremental --executor process
+    python -m repro run wcc --dataset tree --executor process --workers 2 \\
+        --trace run.trace.jsonl
+    python -m repro report run.trace.jsonl --chrome run.chrome.json
     python -m repro datasets
     python -m repro tables 6
 """
@@ -125,6 +128,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default="rollback",
         help="recovery mode used when --fail triggers",
     )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a structured JSON-lines run trace (span events: run, "
+        "superstep, per-worker phase, exchange round, checkpoint, "
+        "failure, recovery); inspect with `repro report FILE`",
+    )
     run.add_argument("--json", action="store_true", help="machine-readable output")
 
     stream = sub.add_parser(
@@ -183,7 +194,40 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="overlay/base ratio that triggers delta-graph compaction",
     )
+    stream.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a structured JSON-lines trace (stream > epoch > run "
+        "span hierarchy); inspect with `repro report FILE`",
+    )
     stream.add_argument("--json", action="store_true", help="one JSON row per epoch")
+
+    report = sub.add_parser(
+        "report",
+        help="analyze a --trace file: phase breakdown, stragglers, anomalies",
+    )
+    report.add_argument("trace", help="JSON-lines trace written by --trace")
+    report.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help="also export a chrome://tracing / Perfetto timeline JSON",
+    )
+    report.add_argument(
+        "--straggler-threshold",
+        type=float,
+        default=1.5,
+        help="per-worker skew score at which a worker is flagged as a "
+        "straggler (1.0 = perfectly balanced; default 1.5)",
+    )
+    report.add_argument(
+        "--z-threshold",
+        type=float,
+        default=3.0,
+        help="EWMA z-score above which a superstep is flagged anomalous",
+    )
+    report.add_argument("--json", action="store_true", help="machine-readable output")
 
     sub.add_parser("datasets", help="print the Table III dataset inventory")
 
@@ -248,7 +292,17 @@ def _cmd_run(args) -> int:
         kwargs["failures"] = schedule
         kwargs["recovery"] = args.recovery
 
-    out = runner(graph, **kwargs)
+    recorder = None
+    if args.trace is not None:
+        from repro.obs import TraceRecorder
+
+        recorder = TraceRecorder(args.trace)
+        kwargs["trace"] = recorder
+    try:
+        out = runner(graph, **kwargs)
+    finally:
+        if recorder is not None:
+            recorder.close()
     result = out[-1]
     m = result.metrics
     row = {
@@ -271,6 +325,8 @@ def _cmd_run(args) -> int:
             if isinstance(v, float):
                 v = round(v, 6)
             print(f"{k:16s} {v}")
+        if args.trace is not None:
+            print(f"trace written to {args.trace} (inspect with `repro report`)")
     return 0
 
 
@@ -300,6 +356,11 @@ def _cmd_stream(args) -> int:
     elif args.algorithm == "sssp":
         params["source"] = args.source
     algo = STREAM_ALGORITHMS[args.algorithm](**params)
+    recorder = None
+    if args.trace is not None:
+        from repro.obs import TraceRecorder
+
+        recorder = TraceRecorder(args.trace)
     try:
         engine = EpochEngine(
             graph,
@@ -309,8 +370,11 @@ def _cmd_stream(args) -> int:
             compact_threshold=args.compact_threshold,
             executor=args.executor,
             transport=args.transport,
+            trace=recorder,
         )
     except ValueError as exc:
+        if recorder is not None:
+            recorder.close()
         print(f"bad stream options: {exc}", file=sys.stderr)
         return 2
     try:
@@ -321,6 +385,8 @@ def _cmd_stream(args) -> int:
         return 1
     finally:
         engine.close()
+        if recorder is not None:
+            recorder.close()
 
     rows = [engine.history[0].summary()] + [e.summary() for e in epochs]
     if args.json:
@@ -331,6 +397,43 @@ def _cmd_stream(args) -> int:
             print(" ".join(f"{k}={round(v, 6) if isinstance(v, float) else v}"
                            for k, v in row.items()))
     return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import TraceReport, export_chrome_trace, load_trace
+
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print("trace is empty", file=sys.stderr)
+        return 2
+    report = TraceReport(events)
+    if args.chrome is not None:
+        export_chrome_trace(events, args.chrome)
+    if args.json:
+        print(
+            json.dumps(
+                report.as_dict(
+                    straggler_threshold=args.straggler_threshold,
+                    z_threshold=args.z_threshold,
+                )
+            )
+        )
+    else:
+        print(
+            report.render(
+                straggler_threshold=args.straggler_threshold,
+                z_threshold=args.z_threshold,
+            )
+        )
+        if args.chrome is not None:
+            print(f"chrome trace written to {args.chrome} (load in chrome://tracing)")
+    # a structurally broken trace (unclosed spans, bad nesting) is an
+    # instrumentation bug — exit non-zero so CI trace smokes catch it
+    return 1 if report.problems else 0
 
 
 def _cmd_datasets() -> int:
@@ -348,6 +451,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "tables":

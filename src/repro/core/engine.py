@@ -163,6 +163,13 @@ class ChannelEngine:
         ``"pipe"`` is the portable OS-pipe fallback.  Both produce
         bit-identical results; ``None`` means the pool's transport (or
         ``"shm"`` when the engine creates the pool).
+    trace:
+        Optional :class:`~repro.obs.trace.TraceRecorder`: the run emits
+        structured span events (run, superstep, per-worker phase,
+        exchange round, checkpoint, failure, recovery) through the
+        metrics collector.  Both executors produce schema-identical
+        traces; see ARCHITECTURE.md §10 and ``repro report``.  The
+        caller owns the recorder (the engine never closes it).
     pool:
         Process executor only: an existing
         :class:`~repro.runtime.parallel.pool.WorkerPool` to run on
@@ -189,6 +196,7 @@ class ChannelEngine:
         sync_state: bool = False,
         transport: str | None = None,
         pool=None,
+        trace=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -237,6 +245,12 @@ class ChannelEngine:
             raise ValueError("partition assigns vertices to unknown workers")
         self.owner = partition
         self.metrics = MetricsCollector(num_workers=num_workers, network=network)
+        if trace is not None:
+            self.metrics.trace = trace
+            attrs = {"executor": executor}
+            if executor == "process":
+                attrs["transport"] = self.transport
+            self.metrics.trace_attrs = attrs
         self.step_num = 0
 
         self.workers: list[Worker] = []

@@ -1,0 +1,50 @@
+"""Observability: structured run traces, streaming statistics, reports.
+
+The engine is instrumented once, at the :class:`~repro.runtime.metrics.
+MetricsCollector` seam every backend already feeds, so a simulated run
+and a multiprocess run emit schema-identical traces (ARCHITECTURE.md
+§10).  Three layers:
+
+* :mod:`repro.obs.trace` — :class:`TraceRecorder` writes JSON-lines span
+  events (run / epoch / superstep / per-worker phase / exchange round /
+  checkpoint / failure / recovery) with parent/child span ids;
+  :func:`load_trace` reads them back.
+* :mod:`repro.obs.stats` — streaming statistics over per-superstep
+  timing series: EWMA baselines, drift detection, z-score outliers, and
+  per-worker straggler/skew scores (the signal adaptive repartitioning
+  will consume).
+* :mod:`repro.obs.report` — turns a trace file into phase breakdowns,
+  straggler reports, and flagged anomalies (the ``repro report``
+  subcommand); :mod:`repro.obs.chrome` exports the same trace as a
+  ``chrome://tracing`` / Perfetto timeline.
+"""
+
+from repro.obs.chrome import chrome_trace_events, export_chrome_trace
+from repro.obs.report import TraceReport, validate_trace
+from repro.obs.stats import (
+    EwmaBaseline,
+    anomaly_score,
+    detect_drift,
+    ewma,
+    moving_average,
+    straggler_scores,
+    zscore_outliers,
+)
+from repro.obs.trace import SPAN_KINDS, TraceRecorder, load_trace
+
+__all__ = [
+    "TraceRecorder",
+    "load_trace",
+    "SPAN_KINDS",
+    "TraceReport",
+    "validate_trace",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "ewma",
+    "moving_average",
+    "anomaly_score",
+    "detect_drift",
+    "zscore_outliers",
+    "straggler_scores",
+    "EwmaBaseline",
+]

@@ -1,0 +1,147 @@
+"""Export a run trace as a ``chrome://tracing`` / Perfetto timeline.
+
+Produces the Trace Event Format JSON object (``{"traceEvents": [...]}``)
+from the JSON-lines events a :class:`~repro.obs.trace.TraceRecorder`
+wrote.  Load the output in ``chrome://tracing`` or https://ui.perfetto.dev
+to inspect a superstep timeline visually.
+
+Layout: one process (pid 0) per trace.  Track 0 carries the structural
+spans (stream / epoch / run / superstep) as complete events; each worker
+gets its own named track (tid ``w+1``) carrying its per-phase spans, so
+per-superstep skew between workers is visible as ragged right edges.
+Instant events (exchange rounds, checkpoints, failures, recoveries) land
+on track 0.
+
+Phase spans inside a superstep are laid out sequentially per worker in
+the engine's canonical phase order (barrier → compute → serialize →
+exchange) from the superstep's start: the engine measures *durations*
+per phase, not start offsets (serialize time, e.g., accumulates across
+exchange rounds), so the start positions within a superstep are
+synthesized while every duration is measured (see ARCHITECTURE.md §10).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["chrome_trace_events", "export_chrome_trace"]
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _args(event: dict) -> dict:
+    return dict(event.get("attrs") or {})
+
+
+def chrome_trace_events(events: list[dict]) -> list[dict]:
+    """Convert recorder events to a Chrome trace-event list."""
+    out: list[dict] = []
+    workers: set[int] = set()
+    open_begin: dict[int, dict] = {}
+
+    for ev in events:
+        kind = ev["ev"]
+        span = ev["span"]
+        ts = ev["t"] * _US
+        if kind == "B":
+            open_begin[ev["id"]] = ev
+            out.append(
+                {
+                    "ph": "B",
+                    "name": f"{span} {ev.get('attrs', {}).get('superstep', '')}".strip()
+                    if span == "superstep"
+                    else span,
+                    "cat": span,
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": _args(ev),
+                }
+            )
+        elif kind == "E":
+            begun = open_begin.pop(ev["id"], None)
+            name = "?"
+            if begun is not None:
+                name = (
+                    f"{begun['span']} {begun.get('attrs', {}).get('superstep', '')}".strip()
+                    if begun["span"] == "superstep"
+                    else begun["span"]
+                )
+            out.append(
+                {
+                    "ph": "E",
+                    "name": name,
+                    "cat": span,
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": _args(ev),
+                }
+            )
+        elif kind == "X":
+            attrs = _args(ev)
+            tid = 0
+            name = span
+            if span == "phase":
+                worker = int(attrs.get("worker", 0))
+                workers.add(worker)
+                tid = worker + 1
+                name = str(attrs.get("phase", "phase"))
+            out.append(
+                {
+                    "ph": "X",
+                    "name": name,
+                    "cat": span,
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": ts,
+                    "dur": ev.get("dur", 0.0) * _US,
+                    "args": attrs,
+                }
+            )
+        elif kind == "I":
+            out.append(
+                {
+                    "ph": "i",
+                    "name": span,
+                    "cat": span,
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": ts,
+                    "s": "p",  # process-scoped instant marker
+                    "args": _args(ev),
+                }
+            )
+
+    meta = [
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "engine"},
+        }
+    ]
+    for w in sorted(workers):
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": w + 1,
+                "args": {"name": f"worker {w}"},
+            }
+        )
+    return meta + out
+
+
+def export_chrome_trace(events: list[dict], out_path) -> dict:
+    """Write ``{"traceEvents": [...]}`` to ``out_path``; returns the
+    payload (handy for tests)."""
+    payload = {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+    }
+    Path(out_path).write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return payload

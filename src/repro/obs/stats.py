@@ -1,0 +1,164 @@
+"""Streaming statistics over per-superstep timing series.
+
+Small, dependency-free primitives in the ``aetherops.telemetry`` idiom
+(``ewma`` / ``anomaly_score`` / ``detect_drift`` / ``zscore_outliers``),
+plus two pieces the engine's own telemetry needs:
+
+* :class:`EwmaBaseline` — an *online* EWMA mean/variance tracker that
+  scores each new observation as it arrives (the per-superstep anomaly
+  flags in ``repro report`` come from here, and a future adaptive
+  repartitioner can feed per-epoch worker timings through it between
+  epochs);
+* :func:`straggler_scores` — per-worker skew over a supersteps×workers
+  timing matrix: how much slower each worker runs than its peers on the
+  barrier-synchronized phases, which is exactly the signal that decides
+  whether moving vertices would shorten the critical path.
+
+Everything operates on plain sequences/ndarrays so the report tool can
+run on a trace file alone, with no engine in the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "moving_average",
+    "ewma",
+    "anomaly_score",
+    "zscore_outliers",
+    "detect_drift",
+    "straggler_scores",
+    "EwmaBaseline",
+]
+
+
+def moving_average(values, window: int) -> list[float]:
+    """Trailing mean over the last ``window`` observations (shorter at
+    the head; empty input -> empty output)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    out = []
+    acc = 0.0
+    vals = [float(v) for v in values]
+    for i, v in enumerate(vals):
+        acc += v
+        if i >= window:
+            acc -= vals[i - window]
+        out.append(acc / min(i + 1, window))
+    return out
+
+
+def ewma(values, alpha: float = 0.3) -> list[float]:
+    """Exponentially weighted moving average, seeded on the first value."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    out: list[float] = []
+    level = None
+    for v in values:
+        v = float(v)
+        level = v if level is None else alpha * v + (1.0 - alpha) * level
+        out.append(level)
+    return out
+
+
+def anomaly_score(value: float, mean: float, std: float) -> float:
+    """|z|-score of ``value`` against a baseline; 0 while the baseline
+    has no spread (a flat series can't be anomalous against itself)."""
+    if std <= 0.0:
+        return 0.0
+    return abs(float(value) - float(mean)) / float(std)
+
+
+def zscore_outliers(values, threshold: float = 3.0) -> list[int]:
+    """Indices whose global z-score exceeds ``threshold`` (two-sided)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        return []
+    std = float(arr.std())
+    if std == 0.0:
+        return []
+    z = np.abs(arr - arr.mean()) / std
+    return [int(i) for i in np.flatnonzero(z > threshold)]
+
+
+def detect_drift(
+    values,
+    alpha_fast: float = 0.5,
+    alpha_slow: float = 0.05,
+    threshold: float = 0.5,
+    warmup: int = 5,
+) -> list[int]:
+    """Indices where the fast EWMA has drifted from the slow EWMA by
+    more than ``threshold`` (relative).  Catches sustained level shifts
+    that per-point z-scores miss: a series that slowly doubles never has
+    a single outlying step, but its fast tracker walks away from the
+    long-memory baseline.  The first ``warmup`` points are never flagged
+    (both trackers start at the same seed)."""
+    fast = ewma(values, alpha_fast)
+    slow = ewma(values, alpha_slow)
+    flags = []
+    for i, (f, s) in enumerate(zip(fast, slow)):
+        if i < warmup:
+            continue
+        denom = abs(s) if s else 1e-12
+        if abs(f - s) / denom > threshold:
+            flags.append(i)
+    return flags
+
+
+def straggler_scores(matrix, eps: float = 1e-9) -> np.ndarray:
+    """Per-worker skew score over a ``supersteps × workers`` timing
+    matrix: the mean over supersteps of (worker's time / that
+    superstep's mean worker time).  1.0 is a perfectly balanced worker;
+    2.0 means it ran at twice the average and (on barrier-synchronized
+    phases) set the critical path.  Supersteps whose mean is below
+    ``eps`` carry no signal and are skipped; all-skipped input returns
+    ones (no evidence of skew)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError("need a supersteps x workers matrix")
+    means = m.mean(axis=1)
+    rows = means > eps
+    if not rows.any():
+        return np.ones(m.shape[1])
+    return (m[rows] / means[rows, None]).mean(axis=0)
+
+
+@dataclass
+class EwmaBaseline:
+    """Online EWMA mean/variance with per-observation anomaly scoring.
+
+    ``update(x)`` returns the |z|-score of ``x`` against the baseline
+    *before* ``x`` is folded in, so a spike scores against normal
+    history rather than against itself.  The first ``warmup``
+    observations always score 0 (the baseline isn't trustworthy yet).
+    """
+
+    alpha: float = 0.3
+    warmup: int = 3
+    n: int = 0
+    mean: float = 0.0
+    var: float = 0.0
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        score = 0.0
+        if self.n >= self.warmup:
+            score = anomaly_score(value, self.mean, self.std)
+        if self.n == 0:
+            self.mean = value
+        else:
+            delta = value - self.mean
+            incr = self.alpha * delta
+            self.mean += incr
+            # Welford-style EWMA variance (West 1979)
+            self.var = (1.0 - self.alpha) * (self.var + delta * incr)
+        self.n += 1
+        return score
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.var))

@@ -66,6 +66,22 @@ class MetricsCollector:
     _compute_per_worker: np.ndarray | None = field(default=None, repr=False)
     _phase_per_worker: dict | None = field(default=None, repr=False)
 
+    # -- observability (ARCHITECTURE.md §10) --------------------------------
+    #: optional :class:`~repro.obs.trace.TraceRecorder`; when set, every
+    #: run/superstep/phase/round/checkpoint/failure/recovery this
+    #: collector measures is also emitted as a structured span event.
+    #: Both backends funnel their measurements through this collector,
+    #: so sim and process traces are schema-identical by construction.
+    trace: object | None = field(default=None, repr=False)
+    #: parent span id for the run span (the streaming epoch engine nests
+    #: each per-epoch run under its epoch span)
+    trace_parent: int | None = field(default=None, repr=False)
+    #: static attrs stamped on the run span (executor, transport, ...)
+    trace_attrs: dict = field(default_factory=dict, repr=False)
+    _run_span: int | None = field(default=None, repr=False)
+    _step_span: int | None = field(default=None, repr=False)
+    _step_t0: float = field(default=0.0, repr=False)
+
     # -- fault-tolerance accounting (never rolled back: real costs paid) ----
     #: serialized checkpoint bytes written across all checkpoints
     checkpoint_bytes: int = 0
@@ -91,9 +107,26 @@ class MetricsCollector:
     # -- run lifecycle ----------------------------------------------------
     def start_run(self) -> None:
         self._wall_start = time.perf_counter()
+        if self.trace is not None:
+            self._run_span = self.trace.begin(
+                "run",
+                parent=self.trace_parent,
+                workers=self.num_workers,
+                **self.trace_attrs,
+            )
 
     def end_run(self) -> None:
         self.wall_time = time.perf_counter() - self._wall_start
+        if self.trace is not None and self._run_span is not None:
+            self.trace.end(
+                self._run_span,
+                supersteps=self.supersteps,
+                net_bytes=self.total_net_bytes,
+                local_bytes=self.total_local_bytes,
+                messages=self.total_messages,
+                wall_time=round(self.wall_time, 9),
+            )
+            self._run_span = None
 
     # -- superstep lifecycle ----------------------------------------------
     def start_superstep(self, active_vertices: int = 0) -> None:
@@ -102,6 +135,14 @@ class MetricsCollector:
         )
         self._compute_per_worker = np.zeros(self.num_workers)
         self._phase_per_worker = {}
+        if self.trace is not None:
+            self._step_t0 = self.trace.now()
+            self._step_span = self.trace.begin(
+                "superstep",
+                parent=self._run_span,
+                superstep=self._current.superstep,
+                active=int(active_vertices),
+            )
 
     def record_compute(self, worker_id: int, seconds: float) -> None:
         assert self._compute_per_worker is not None
@@ -129,9 +170,18 @@ class MetricsCollector:
         cur = self._current
         assert cur is not None
         cur.rounds += 1
-        cur.net_bytes += int(np.sum(send_bytes))
+        round_net = int(np.sum(send_bytes))
+        cur.net_bytes += round_net
         cur.local_bytes += local_bytes
         cur.exchange_time += self.network.exchange_time(send_bytes, recv_bytes, messages)
+        if self.trace is not None and self._step_span is not None:
+            self.trace.instant(
+                "round",
+                parent=self._step_span,
+                round=cur.rounds - 1,
+                net_bytes=round_net,
+                local_bytes=int(local_bytes),
+            )
 
     def count_messages(self, n: int) -> None:
         assert self._current is not None
@@ -163,16 +213,38 @@ class MetricsCollector:
         self.checkpoint_bytes += int(sum(per_worker_nbytes))
         largest = max(per_worker_nbytes) if per_worker_nbytes else 0
         self.checkpoint_time += self.network.latency + largest / self.network.bandwidth
+        if self.trace is not None:
+            self.trace.instant(
+                "checkpoint",
+                parent=self._run_span,
+                superstep=len(self.records),
+                nbytes=int(sum(per_worker_nbytes)),
+            )
 
     def record_log_bytes(self, nbytes: int) -> None:
         self.log_bytes += int(nbytes)
 
     def record_failure(self, num_workers_lost: int) -> None:
         self.num_failures += int(num_workers_lost)
+        if self.trace is not None:
+            self.trace.instant(
+                "failure",
+                parent=self._run_span,
+                superstep=len(self.records),
+                workers_lost=int(num_workers_lost),
+            )
 
     def record_recovery(self, nbytes: int, seconds: float) -> None:
         self.recovery_bytes += int(nbytes)
         self.recovery_time += seconds
+        if self.trace is not None:
+            self.trace.instant(
+                "recovery",
+                parent=self._run_span,
+                superstep=len(self.records),
+                nbytes=int(nbytes),
+                model_seconds=round(float(seconds), 9),
+            )
 
     # -- streaming ----------------------------------------------------------
     def record_stream_epoch(self, epoch: int, affected: int, mode: str) -> None:
@@ -203,6 +275,12 @@ class MetricsCollector:
             for r in state["records"]
         ]
         self.channel_traffic = {k: list(v) for k, v in state["channel_traffic"].items()}
+        if self.trace is not None and self._step_span is not None:
+            # the in-flight superstep is being rolled back: close its span
+            # as aborted so reports exclude it (the re-execution emits a
+            # fresh span with the real counters)
+            self.trace.end(self._step_span, aborted=True)
+            self._step_span = None
         self._current = None
         self._compute_per_worker = None
         self._phase_per_worker = None
@@ -216,10 +294,48 @@ class MetricsCollector:
             cur.phases = {
                 k: [float(x) for x in v] for k, v in self._phase_per_worker.items()
             }
+        if self.trace is not None and self._step_span is not None:
+            self._emit_phase_spans(cur)
+            self.trace.end(
+                self._step_span,
+                net_bytes=cur.net_bytes,
+                local_bytes=cur.local_bytes,
+                messages=cur.messages,
+                rounds=cur.rounds,
+                compute_max=round(cur.compute_time_max, 9),
+            )
+            self._step_span = None
         self.records.append(cur)
         self._current = None
         self._compute_per_worker = None
         self._phase_per_worker = None
+
+    #: phase layout order inside a superstep (what the engine executes)
+    _PHASE_ORDER = ("barrier", "compute", "serialize", "exchange")
+
+    def _emit_phase_spans(self, cur: SuperstepRecord) -> None:
+        """One complete span per worker per measured phase.  Durations
+        are measured; the start offsets inside the superstep are
+        synthesized by laying each worker's phases out sequentially in
+        execution order (the engine accumulates per-phase totals across
+        exchange rounds, so true start times don't exist)."""
+        phases = cur.phases
+        ordered = [p for p in self._PHASE_ORDER if p in phases] + sorted(
+            set(phases) - set(self._PHASE_ORDER)
+        )
+        offsets = np.zeros(self.num_workers)
+        for phase in ordered:
+            per_worker = phases[phase]
+            for w, seconds in enumerate(per_worker):
+                self.trace.complete(
+                    "phase",
+                    seconds,
+                    parent=self._step_span,
+                    t=round(self._step_t0 + float(offsets[w]), 9),
+                    worker=w,
+                    phase=phase,
+                )
+            offsets += np.asarray(per_worker)
 
     # -- derived totals -----------------------------------------------------
     @property
@@ -274,6 +390,11 @@ class MetricsCollector:
             "simulated_time": self.simulated_time,
             "wall_time": self.wall_time,
         }
+        # measured critical-path seconds per phase (phase_* keys appear
+        # only when a backend recorded phase timings), so bench rows and
+        # `repro run` output carry the wall-time breakdown by default
+        for phase, seconds in sorted(self.phase_totals().items()):
+            out[f"phase_{phase}"] = seconds
         if self.epoch is not None:
             out.update(
                 epoch=self.epoch,

@@ -100,6 +100,11 @@ class EpochEngine:
         Process executor only: the worker-to-worker frame data plane,
         ``"shm"`` (default) or ``"pipe"`` — see
         :class:`~repro.core.engine.ChannelEngine`.
+    trace:
+        Optional :class:`~repro.obs.trace.TraceRecorder`: the stream
+        emits one ``stream`` root span with one ``epoch`` span per
+        epoch, each wrapping that epoch's engine ``run`` span (see
+        ARCHITECTURE.md §10).  The caller owns the recorder.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class EpochEngine:
         executor: str = "sim",
         pool_reuse: bool = True,
         transport: str | None = None,
+        trace=None,
     ) -> None:
         if refresh not in REFRESH_MODES:
             raise ValueError(f"refresh must be one of {REFRESH_MODES}, got {refresh!r}")
@@ -131,6 +137,8 @@ class EpochEngine:
         self.executor = executor
         self.pool_reuse = bool(pool_reuse)
         self.pool = None  # created lazily for executor="process"
+        self.trace = trace
+        self._stream_span: int | None = None
         if partition is None:
             partition = hash_partition(graph.num_vertices, num_workers, seed=partition_seed)
         self.owner = np.asarray(partition, dtype=np.int64)
@@ -182,6 +190,24 @@ class EpochEngine:
         new_graph = self.delta.view()
 
         plan = self.algorithm.plan(old_graph, new_graph, stats, self.state, refresh)
+        epoch_span = None
+        if self.trace is not None:
+            if self._stream_span is None:
+                self._stream_span = self.trace.begin(
+                    "stream",
+                    workers=self.num_workers,
+                    executor=self.executor,
+                    algorithm=type(self.algorithm).__name__,
+                )
+            epoch_span = self.trace.begin(
+                "epoch",
+                parent=self._stream_span,
+                epoch=self.epoch_num + 1,
+                batch_size=batch_size,
+                refresh=plan.mode,
+                affected=plan.affected,
+                compacted=compacted,
+            )
         engine = ChannelEngine(
             new_graph,
             plan.program_factory,
@@ -189,12 +215,17 @@ class EpochEngine:
             partition=self.owner,
             network=self.network,
             initial_active=plan.seeds,
+            trace=self.trace,
             **self._executor_kwargs(),
         )
+        if epoch_span is not None:
+            engine.metrics.trace_parent = epoch_span
         self.epoch_num += 1
         engine.metrics.record_stream_epoch(self.epoch_num, plan.affected, plan.mode)
         result = engine.run()
         self.state = self.algorithm.collect(engine, result)
+        if epoch_span is not None:
+            self.trace.end(epoch_span)
 
         epoch_result = EpochResult(
             epoch=self.epoch_num,
@@ -235,9 +266,17 @@ class EpochEngine:
 
     def close(self) -> None:
         """Shut the worker pool down (no-op for the sim executor; also
-        happens automatically when the engine is garbage collected)."""
+        happens automatically when the engine is garbage collected) and
+        end the stream's trace span, when one is open."""
         if self.pool is not None:
             self.pool.shutdown()
+        if (
+            self.trace is not None
+            and self._stream_span is not None
+            and not getattr(self.trace, "closed", False)
+        ):
+            self.trace.end(self._stream_span, epochs=len(self.history))
+            self._stream_span = None
 
     # -- convenience -------------------------------------------------------
     @property

@@ -143,7 +143,13 @@ _TIME_KEYS = ("wall_time", "simulated_time")
 
 
 def _stable_summary(summary: dict) -> dict:
-    return {k: v for k, v in summary.items() if k not in _TIME_KEYS}
+    # timings (wall clocks and the measured phase_* seconds) differ
+    # between backends; everything else must be bit-identical
+    return {
+        k: v
+        for k, v in summary.items()
+        if k not in _TIME_KEYS and not k.startswith("phase_")
+    }
 
 
 @pytest.mark.parametrize("workers", WORKERS)
