@@ -89,23 +89,49 @@ def _phase_row(result) -> dict:
     return {p: round(totals.get(p, 0.0), 4) for p in PHASES}
 
 
-def bench(dataset: str, workers_list: list[int], seed: int) -> list[dict]:
+def _run_live_checked(runner, graph, workers, part, **kw):
+    """Run one cell with a live segment attached and verify the plane's
+    accounting: the per-worker slot counters must sum exactly to the
+    final ``MetricsCollector`` totals (ARCHITECTURE.md §11)."""
+    from repro.obs import LiveMetrics
+
+    live = LiveMetrics.create(workers)
+    try:
+        out = runner(graph, num_workers=workers, partition=part, live=live, **kw)
+        rows = live.snapshot()
+        m = out[-1].metrics
+        ok = (
+            sum(r["net_bytes"] for r in rows) == m.total_net_bytes
+            and sum(r["local_bytes"] for r in rows) == m.total_local_bytes
+            and sum(r["messages"] for r in rows) == m.total_messages
+            and all(r["superstep"] == m.supersteps for r in rows)
+            and not any(r["stale"] for r in rows)
+        )
+        return out, ok
+    finally:
+        live.close(unlink=True)
+
+
+def bench(
+    dataset: str, workers_list: list[int], seed: int, live_check: bool = False
+) -> list[dict]:
     graph = load_dataset(dataset)
     rows = []
     for name, runner in WORKLOADS.items():
         for workers in workers_list:
             part = hash_partition(graph.num_vertices, workers, seed=seed)
-            sim = runner(graph, num_workers=workers, partition=part)
-            proc = {
-                t: runner(
-                    graph,
-                    num_workers=workers,
-                    partition=part,
-                    executor="process",
-                    transport=t,
-                )
-                for t in TRANSPORTS
+
+            def cell(**kw):
+                if live_check:
+                    return _run_live_checked(runner, graph, workers, part, **kw)
+                return runner(graph, num_workers=workers, partition=part, **kw), True
+
+            sim, live_sim = cell()
+            proc_pairs = {
+                t: cell(executor="process", transport=t) for t in TRANSPORTS
             }
+            proc = {t: pair[0] for t, pair in proc_pairs.items()}
+            live_ok = live_sim and all(ok for _, ok in proc_pairs.values())
             walls = {t: proc[t][-1].metrics.wall_time for t in TRANSPORTS}
             sim_wall = sim[-1].metrics.wall_time
             rows.append(
@@ -125,6 +151,7 @@ def bench(dataset: str, workers_list: list[int], seed: int) -> list[dict]:
                     ),
                     "parity_pipe": _identical(sim, proc["pipe"]),
                     "parity_shm": _identical(sim, proc["shm"]),
+                    **({"live_parity": live_ok} if live_check else {}),
                     "phases": {
                         "sim": _phase_row(sim[-1]),
                         **{t: _phase_row(proc[t][-1]) for t in TRANSPORTS},
@@ -233,6 +260,13 @@ def main(argv=None) -> int:
         "(barrier/compute/serialize/exchange) for every backend",
     )
     parser.add_argument(
+        "--live",
+        action="store_true",
+        help="attach a live-telemetry segment (repro.obs.live) to every "
+        "cell and fail unless the per-worker slot counters sum exactly "
+        "to the collector totals on every backend and transport",
+    )
+    parser.add_argument(
         "--amortize-epochs",
         type=int,
         default=6,
@@ -249,7 +283,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     cpus = _cpus()
-    rows = bench(args.dataset, args.workers, args.seed)
+    rows = bench(args.dataset, args.workers, args.seed, live_check=args.live)
     display_cols = [c for c in rows[0] if c != "phases"]
     print(
         render_rows(
@@ -311,6 +345,11 @@ def main(argv=None) -> int:
     ]
     broken += [
         f"amortization/{r['mode']}" for r in amortization if not r["identical"]
+    ]
+    broken += [
+        f"{r['workload']}@{r['workers']}:live"
+        for r in rows
+        if not r.get("live_parity", True)
     ]
     if broken:
         print(f"PARITY VIOLATION in: {', '.join(broken)}", file=sys.stderr)

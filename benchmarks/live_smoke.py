@@ -1,0 +1,168 @@
+"""CI smoke for the live telemetry plane (ARCHITECTURE.md §11).
+
+Launches a real ``python -m repro run ... --executor process
+--metrics-port 0`` as a subprocess, then acts as the *external observer*
+the plane exists for:
+
+1. parses the serving line off the run's stderr to learn the bound port
+   and segment name,
+2. polls ``GET /metrics`` over plain HTTP until a worker has published a
+   non-zero superstep — proving the run is scrape-able while in flight,
+3. renders ``repro top <segment> --once`` against the same segment,
+   mid-run, from yet another process,
+4. keeps scraping until the run exits, saves the last successful scrape
+   (``--out``), and checks the run still finished cleanly with byte
+   totals consistent between the scrape and the run's ``--json`` row.
+
+Exits non-zero on any failure, so CI can gate on it directly::
+
+    PYTHONPATH=src python benchmarks/live_smoke.py --out live_scrape.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+#: printed (flushed) by the CLI before the run starts
+SERVING_RE = re.compile(r"http://127\.0\.0\.1:(\d+)/metrics \(segment (\S+);")
+#: a worker slot with at least one completed superstep
+LIVE_STEP_RE = re.compile(r"repro_supersteps_total\{[^}]*\} [1-9]")
+NET_SAMPLE_RE = re.compile(r"repro_net_bytes_total\{[^}]*\} (\d+)")
+
+
+def _fail(msg: str, proc: subprocess.Popen | None = None) -> int:
+    if proc is not None and proc.poll() is None:
+        proc.kill()
+        proc.wait()
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def _scrape(port: int) -> str | None:
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=5
+        ) as resp:
+            return resp.read().decode("utf-8")
+    except (urllib.error.URLError, ConnectionError, OSError):
+        return None  # server already gone (run finished) or not up yet
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="bulk-100k")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="overall deadline (seconds)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("live_scrape.txt"),
+        help="where to save the last successful /metrics scrape",
+    )
+    args = parser.parse_args(argv)
+    deadline = time.monotonic() + args.timeout
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    # wcc-bulk is the slowest committed parallel workload, so the run
+    # stays alive long enough to be observed mid-flight
+    cmd = [
+        sys.executable, "-m", "repro", "run", "wcc",
+        "--dataset", args.dataset, "--variant", "basic", "--mode", "bulk",
+        "--workers", str(args.workers), "--executor", "process",
+        "--metrics-port", "0", "--json",
+    ]
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env
+    )
+
+    # 1. the serving line announces port + segment before the run starts
+    port = segment = None
+    assert proc.stderr is not None and proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        m = SERVING_RE.search(line)
+        if m:
+            port, segment = int(m.group(1)), m.group(2)
+            break
+    if port is None:
+        return _fail("never saw the serving line on stderr", proc)
+    print(f"serving line parsed: port {port}, segment {segment}")
+
+    # 2. scrape mid-run until a superstep lands
+    mid_run = None
+    while proc.poll() is None and time.monotonic() < deadline:
+        body = _scrape(port)
+        if body is not None and LIVE_STEP_RE.search(body):
+            mid_run = body
+            break
+        time.sleep(0.02)
+    if mid_run is None:
+        return _fail("no mid-run scrape showed a completed superstep", proc)
+    print("mid-run scrape: worker supersteps visible over HTTP")
+
+    # 3. repro top from a third process against the same segment
+    top = subprocess.run(
+        [sys.executable, "-m", "repro", "top", segment, "--once"],
+        capture_output=True, text=True, env=env, timeout=60,
+    )
+    if top.returncode != 0 or f"segment {segment}" not in top.stdout:
+        return _fail(
+            f"repro top --once failed mid-run (rc {top.returncode}): "
+            f"{top.stderr.strip()}",
+            proc,
+        )
+    print("repro top --once rendered mid-run:")
+    print("\n".join(f"  {line}" for line in top.stdout.splitlines()))
+
+    # 4. follow the run to completion, keeping the freshest scrape
+    last = mid_run
+    while proc.poll() is None and time.monotonic() < deadline:
+        body = _scrape(port)
+        if body is not None:
+            last = body
+        time.sleep(0.02)
+    try:
+        stdout, stderr = proc.communicate(timeout=max(deadline - time.monotonic(), 1))
+    except subprocess.TimeoutExpired:
+        return _fail("run did not finish before the deadline", proc)
+    if proc.returncode != 0:
+        return _fail(f"run exited {proc.returncode}: {stderr.strip()}")
+
+    args.out.write_text(last)
+    print(f"saved last scrape to {args.out}")
+
+    row = json.loads(stdout)
+    nets = [int(v) for v in NET_SAMPLE_RE.findall(last)]
+    if len(nets) != args.workers:
+        return _fail(f"expected {args.workers} net-bytes samples, got {len(nets)}")
+    if not any(nets):
+        return _fail("all repro_net_bytes_total samples are zero")
+    # the scrape is a superstep-boundary prefix of the final accounting
+    if sum(nets) > row["net_bytes"]:
+        return _fail(
+            f"scraped net bytes {sum(nets)} exceed the run's final "
+            f"total {row['net_bytes']}"
+        )
+    print(
+        f"scraped net bytes {sum(nets)} (final total {row['net_bytes']}), "
+        f"run exited 0 — live plane OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

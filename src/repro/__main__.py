@@ -15,6 +15,10 @@ Examples::
     python -m repro run wcc --dataset tree --executor process --workers 2 \\
         --trace run.trace.jsonl
     python -m repro report run.trace.jsonl --chrome run.chrome.json
+    python -m repro run pagerank --dataset bulk-100k --variant scatter \\
+        --executor process --workers 2 --metrics-port 9109 --live-name myrun
+    python -m repro top myrun            # refreshing per-worker table
+    curl http://127.0.0.1:9109/metrics   # Prometheus text format, mid-run
     python -m repro datasets
     python -m repro tables 6
 """
@@ -136,6 +140,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "superstep, per-worker phase, exchange round, checkpoint, "
         "failure, recovery); inspect with `repro report FILE`",
     )
+    run.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live per-worker metrics at "
+        "http://127.0.0.1:PORT/metrics (Prometheus text format) while "
+        "the run is in flight; 0 picks a free port",
+    )
+    run.add_argument(
+        "--live-name",
+        default=None,
+        metavar="NAME",
+        help="publish live metrics into a shared-memory segment with "
+        "this name so `repro top NAME` can watch the run (implied "
+        "random name when only --metrics-port is given)",
+    )
     run.add_argument("--json", action="store_true", help="machine-readable output")
 
     stream = sub.add_parser(
@@ -201,6 +222,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a structured JSON-lines trace (stream > epoch > run "
         "span hierarchy); inspect with `repro report FILE`",
     )
+    stream.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live per-worker metrics over HTTP while epochs run "
+        "(see `run --metrics-port`); the segment rolls over per epoch",
+    )
+    stream.add_argument(
+        "--live-name",
+        default=None,
+        metavar="NAME",
+        help="named live-metrics segment for `repro top NAME`",
+    )
     stream.add_argument("--json", action="store_true", help="one JSON row per epoch")
 
     report = sub.add_parser(
@@ -229,11 +264,83 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--json", action="store_true", help="machine-readable output")
 
+    top = sub.add_parser(
+        "top",
+        help="attach to a run's live-metrics segment and render a "
+        "refreshing per-worker table",
+    )
+    top.add_argument(
+        "segment",
+        help="live segment name (printed by runs started with "
+        "--metrics-port / --live-name)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (rates are run-lifetime "
+        "averages instead of refresh deltas)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period in loop mode (exit with ctrl-c)",
+    )
+
     sub.add_parser("datasets", help="print the Table III dataset inventory")
 
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument("which", nargs="*", help="table numbers (default: all)")
     return parser
+
+
+def _start_live(args):
+    """Bring the live telemetry plane up for a `run`/`stream` invocation.
+
+    Returns ``(live, server, error_code)`` — ``error_code`` is not None
+    when setup failed and the command should exit with it.  The "serving"
+    line goes to stderr *before* the run starts (flushed), so wrappers
+    can parse the URL/segment and start scraping mid-run.
+    """
+    if args.metrics_port is None and args.live_name is None:
+        return None, None, None
+    from repro.obs import LiveMetrics, MetricsHTTPServer
+
+    try:
+        live = LiveMetrics.create(args.workers, name=args.live_name)
+    except FileExistsError:
+        print(
+            f"live segment {args.live_name!r} already exists "
+            "(another run is using it, or a crashed run leaked it)",
+            file=sys.stderr,
+        )
+        return None, None, 2
+    server = None
+    if args.metrics_port is not None:
+        server = MetricsHTTPServer(
+            live, port=args.metrics_port, labels={"workload": args.algorithm}
+        )
+        try:
+            port = server.start()
+        except (OSError, OverflowError) as exc:  # in use, or not a real port
+            live.close(unlink=True)
+            print(f"cannot serve --metrics-port: {exc}", file=sys.stderr)
+            return None, None, 2
+        print(
+            f"serving live metrics at http://127.0.0.1:{port}/metrics "
+            f"(segment {live.name}; watch with `repro top {live.name}`)",
+            file=sys.stderr,
+            flush=True,
+        )
+    else:
+        print(
+            f"publishing live metrics to segment {live.name} "
+            f"(watch with `repro top {live.name}`)",
+            file=sys.stderr,
+            flush=True,
+        )
+    return live, server, None
 
 
 def _cmd_run(args) -> int:
@@ -298,9 +405,20 @@ def _cmd_run(args) -> int:
 
         recorder = TraceRecorder(args.trace)
         kwargs["trace"] = recorder
+    live, server, code = _start_live(args)
+    if code is not None:
+        if recorder is not None:
+            recorder.close()
+        return code
+    if live is not None:
+        kwargs["live"] = live
     try:
         out = runner(graph, **kwargs)
     finally:
+        if server is not None:
+            server.stop()
+        if live is not None:
+            live.close(unlink=True)
         if recorder is not None:
             recorder.close()
     result = out[-1]
@@ -318,6 +436,8 @@ def _cmd_run(args) -> int:
     }
     if args.executor == "process":
         row["transport"] = args.transport if args.transport is not None else "shm"
+    if result.live_alerts is not None:
+        row["live_alerts"] = len(result.live_alerts)
     if args.json:
         print(json.dumps(row))
     else:
@@ -361,6 +481,11 @@ def _cmd_stream(args) -> int:
         from repro.obs import TraceRecorder
 
         recorder = TraceRecorder(args.trace)
+    live, server, code = _start_live(args)
+    if code is not None:
+        if recorder is not None:
+            recorder.close()
+        return code
     try:
         engine = EpochEngine(
             graph,
@@ -371,8 +496,13 @@ def _cmd_stream(args) -> int:
             executor=args.executor,
             transport=args.transport,
             trace=recorder,
+            live=live,
         )
     except ValueError as exc:
+        if server is not None:
+            server.stop()
+        if live is not None:
+            live.close(unlink=True)
         if recorder is not None:
             recorder.close()
         print(f"bad stream options: {exc}", file=sys.stderr)
@@ -385,6 +515,10 @@ def _cmd_stream(args) -> int:
         return 1
     finally:
         engine.close()
+        if server is not None:
+            server.stop()
+        if live is not None:
+            live.close(unlink=True)
         if recorder is not None:
             recorder.close()
 
@@ -436,6 +570,45 @@ def _cmd_report(args) -> int:
     return 1 if report.problems else 0
 
 
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from repro.obs import LiveMetrics, format_top
+
+    try:
+        live = LiveMetrics.attach(args.segment)
+    except FileNotFoundError:
+        print(
+            f"no live-metrics segment named {args.segment!r} — is the run "
+            "still going, and was it started with --metrics-port or "
+            "--live-name?",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        if args.once:
+            print(format_top(live))
+            return 0
+        prev = prev_t = None
+        while True:
+            rows = live.snapshot()
+            now = _time.monotonic()
+            dt = None if prev_t is None else now - prev_t
+            # clear + home, then one table per refresh (plain ANSI; the
+            # run owns stdout semantics, repro top owns a whole terminal)
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print(format_top(live, rows=rows, prev=prev, dt=dt), flush=True)
+            prev, prev_t = rows, now
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        live.close()
+
+
 def _cmd_datasets() -> int:
     rows = table3_rows()
     cols = list(rows[0])
@@ -453,6 +626,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stream(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "tables":

@@ -71,6 +71,9 @@ class EngineResult:
 
     data: dict = field(default_factory=dict)
     metrics: MetricsCollector | None = None
+    #: alerts the live monitor raised during the run (``None`` when the
+    #: engine had no ``live=`` telemetry segment; see ARCHITECTURE.md §11)
+    live_alerts: list | None = None
 
     @property
     def supersteps(self) -> int | None:
@@ -170,6 +173,16 @@ class ChannelEngine:
         metrics collector.  Both executors produce schema-identical
         traces; see ARCHITECTURE.md §10 and ``repro report``.  The
         caller owns the recorder (the engine never closes it).
+    live:
+        Optional :class:`~repro.obs.live.LiveMetrics` segment (with
+        ``num_workers`` slots): the run publishes per-worker counters
+        after every superstep so external observers (``repro top``, the
+        ``--metrics-port`` exporter) can watch it in flight, and an
+        online :class:`~repro.obs.live.LiveMonitor` flags stragglers /
+        anomalies as "alert" trace instants and
+        ``EngineResult.live_alerts``.  Both executors publish the same
+        slot schema; see ARCHITECTURE.md §11.  The caller owns the
+        segment (the engine never closes or unlinks it).
     pool:
         Process executor only: an existing
         :class:`~repro.runtime.parallel.pool.WorkerPool` to run on
@@ -197,6 +210,7 @@ class ChannelEngine:
         transport: str | None = None,
         pool=None,
         trace=None,
+        live=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -251,6 +265,17 @@ class ChannelEngine:
             if executor == "process":
                 attrs["transport"] = self.transport
             self.metrics.trace_attrs = attrs
+        self.live = live
+        self.monitor = None
+        if live is not None:
+            if live.num_workers != num_workers:
+                raise ValueError(
+                    f"live metrics segment has {live.num_workers} worker "
+                    f"slots, engine wants {num_workers}"
+                )
+            from repro.obs.live import LiveMonitor
+
+            self.monitor = LiveMonitor(live, self.metrics)
         self.step_num = 0
 
         self.workers: list[Worker] = []

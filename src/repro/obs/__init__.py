@@ -17,9 +17,24 @@ and a multiprocess run emit schema-identical traces (ARCHITECTURE.md
   straggler reports, and flagged anomalies (the ``repro report``
   subcommand); :mod:`repro.obs.chrome` exports the same trace as a
   ``chrome://tracing`` / Perfetto timeline.
+* :mod:`repro.obs.live` + :mod:`repro.obs.export` — the *in-flight*
+  plane (ARCHITECTURE.md §11): a shared-memory segment of per-worker
+  seqlock'd slots each backend publishes every superstep, the online
+  :class:`LiveMonitor` that flags stragglers/anomalies during the run,
+  and the exporters over it — Prometheus text via ``--metrics-port``
+  and the ``repro top`` table.
 """
 
 from repro.obs.chrome import chrome_trace_events, export_chrome_trace
+from repro.obs.export import MetricsHTTPServer, format_top, prometheus_text
+from repro.obs.live import (
+    LIVE_COUNTERS,
+    LIVE_GAUGES,
+    LiveMetrics,
+    LiveMonitor,
+    LiveSlotWriter,
+    read_proc_stats,
+)
 from repro.obs.report import TraceReport, validate_trace
 from repro.obs.stats import (
     EwmaBaseline,
@@ -47,4 +62,13 @@ __all__ = [
     "zscore_outliers",
     "straggler_scores",
     "EwmaBaseline",
+    "LIVE_COUNTERS",
+    "LIVE_GAUGES",
+    "LiveMetrics",
+    "LiveMonitor",
+    "LiveSlotWriter",
+    "read_proc_stats",
+    "MetricsHTTPServer",
+    "format_top",
+    "prometheus_text",
 ]

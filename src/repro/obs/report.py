@@ -263,6 +263,31 @@ class TraceReport:
             if ev["span"] in ("checkpoint", "failure", "recovery")
         ]
 
+    def live_alerts(self, run_id: int) -> list[dict]:
+        """"alert" instants the live monitor raised during one run."""
+        return [
+            {"t": ev["t"], **(ev.get("attrs") or {})}
+            for ev in self.children(run_id, "alert")
+        ]
+
+    def epoch_context(self, run_id: int) -> dict:
+        """Attrs of the streaming epoch span wrapping ``run_id``, ``{}``
+        for non-streaming runs.
+
+        A streaming trace nests each per-epoch run under its own epoch
+        span, and the epoch labels (epoch number, batch size, refresh
+        mode, affected vertices) live *there* — without this merge, a
+        ``repro report --json`` over a stream>epoch trace would present
+        all epochs as indistinguishable run-level aggregates.
+        """
+        parent = self._begin[run_id].get("parent")
+        if parent is None:
+            return {}
+        pev = self._begin.get(parent)
+        if pev is None or pev.get("span") != "epoch":
+            return {}
+        return self.attrs(parent)
+
     # -- whole-report assembly ----------------------------------------------
     def as_dict(self, straggler_threshold: float = 1.5, z_threshold: float = 3.0) -> dict:
         runs = []
@@ -271,7 +296,11 @@ class TraceReport:
             runs.append(
                 {
                     "run": rid,
+                    # epoch labels first, so the run's own attrs win a
+                    # (never expected) key collision
+                    **self.epoch_context(rid),
                     **attrs,
+                    "live_alerts": self.live_alerts(rid),
                     "totals": self.superstep_totals(rid),
                     "phase_breakdown": {
                         k: round(v, 6) for k, v in self.phase_breakdown(rid).items()
@@ -298,7 +327,7 @@ class TraceReport:
         for run in payload["runs"]:
             totals = run["totals"]
             head = f"run {run['run']}"
-            for key in ("executor", "workers", "epoch"):
+            for key in ("executor", "workers", "epoch", "refresh", "batch_size"):
                 if key in run:
                     head += f"  {key}={run[key]}"
             lines.append(head)
@@ -337,6 +366,13 @@ class TraceReport:
                 lines.append(
                     "  DRIFT: sustained timing shift at supersteps "
                     + ", ".join(str(s) for s in anomalies["drift_supersteps"])
+                )
+            for alert in run["live_alerts"]:
+                lines.append(
+                    f"  LIVE ALERT: {alert.get('kind')} worker "
+                    f"{alert.get('worker')} at superstep "
+                    f"{alert.get('superstep')} (value {alert.get('value')}, "
+                    f"threshold {alert.get('threshold')})"
                 )
             for ev in run["fault_events"]:
                 detail = "  ".join(

@@ -56,6 +56,7 @@ SPAN_KINDS = (
     "phase",
     "round",
     "checkpoint",
+    "alert",
     "failure",
     "recovery",
 )

@@ -132,6 +132,14 @@ class ExecutorBackend:
             self.exchange_phase()
             metrics.end_superstep()
 
+            # live telemetry boundary: sim publishes all slots here (the
+            # process backend's children already published their own), then
+            # the monitor scores the fresh readings online
+            if engine.live is not None:
+                self.publish_live()
+                if engine.monitor is not None:
+                    engine.monitor.observe(engine.step_num)
+
             # superstep boundary: checkpoint, then inject failures
             if fault_tolerant:
                 if (
@@ -157,6 +165,8 @@ class ExecutorBackend:
 
         metrics.end_run()
         result = EngineResult(metrics=metrics)
+        if engine.monitor is not None:
+            result.live_alerts = list(engine.monitor.alerts)
         result.data.update(self.collect_results())
         return result
 
@@ -173,6 +183,9 @@ class ExecutorBackend:
         )
         engine.checkpoint = snapshot
         engine.metrics.record_checkpoint(snapshot.worker_nbytes)
+        if engine.live is not None:
+            # rollback recovery will rewind live counters to this boundary
+            self.live_mark()
         if engine.frame_log is not None:
             # frames covered by this checkpoint can never be replayed
             engine.frame_log.truncate_before(snapshot.superstep)
@@ -202,6 +215,16 @@ class ExecutorBackend:
     def shutdown(self) -> None:
         """Release backend resources (idempotent; a no-op for sim)."""
 
+    # -- live telemetry hooks (ARCHITECTURE.md §11) --------------------------
+    def publish_live(self) -> None:
+        """Refresh the engine's live metrics slots after a superstep.  The
+        process backend's children publish their own slots autonomously,
+        so its override is this no-op; sim publishes all slots here."""
+
+    def live_mark(self) -> None:
+        """Checkpoint boundary: remember live counters for a later rewind
+        (process children mark inside their ``capture`` command)."""
+
 
 class SimBackend(ExecutorBackend):
     """The in-process simulated cluster: every worker runs sequentially in
@@ -216,9 +239,18 @@ class SimBackend(ExecutorBackend):
         super().__init__(engine)
         self._exchange = BufferExchange(engine.metrics)
         self._active_sets: list = []
+        self._live_writers: list | None = None
+        self._live_step: dict | None = None
 
     # -- primitives ----------------------------------------------------------
     def begin_run(self, fault_tolerant: bool) -> None:
+        if self.engine.live is not None and self._live_writers is None:
+            # created once per engine, never reset on a re-run: a second
+            # run over a halted program adds zero supersteps, and the live
+            # counters must keep matching the (also untouched) collector
+            self._live_writers = [
+                self.engine.live.writer(w) for w in range(self.engine.num_workers)
+            ]
         for worker in self.engine.workers:
             for channel in worker.channels:
                 channel.initialize()
@@ -235,12 +267,23 @@ class SimBackend(ExecutorBackend):
         # worker dispatches scalar (per-vertex) or bulk (whole-active-set)
         # per its program's is_bulk flag
         metrics = self.engine.metrics
+        track = self._live_writers is not None
+        if track:
+            n = self.engine.num_workers
+            self._live_step = {"net": [0] * n, "local": [0] * n, "messages": [0] * n}
         for worker, active in zip(self.engine.workers, self._active_sets):
+            before = metrics.current_messages if track else 0
             t0 = time.perf_counter()
             worker.run_compute(active)
             seconds = time.perf_counter() - t0
             metrics.record_compute(worker.worker_id, seconds)
             metrics.record_phase(worker.worker_id, "compute", seconds)
+            if track:
+                # workers run sequentially here, so bracketing the shared
+                # collector's message count attributes exactly
+                self._live_step["messages"][worker.worker_id] += (
+                    metrics.current_messages - before
+                )
 
     def exchange_phase(self) -> None:
         engine = self.engine
@@ -257,7 +300,9 @@ class SimBackend(ExecutorBackend):
         while any(group_active):
             # serialize
             wrote = False
+            track = self._live_step is not None
             for worker in engine.workers:
+                before = metrics.current_messages if track else 0
                 t0 = time.perf_counter()
                 for cid, channel in enumerate(worker.channels):
                     if group_active[cid]:
@@ -267,6 +312,13 @@ class SimBackend(ExecutorBackend):
                 metrics.record_phase(worker.worker_id, "serialize", seconds)
                 net, local = worker.buffers.out_nbytes()
                 wrote = wrote or net > 0 or local > 0
+                if track:
+                    st = self._live_step
+                    st["net"][worker.worker_id] += int(net)
+                    st["local"][worker.worker_id] += int(local)
+                    st["messages"][worker.worker_id] += (
+                        metrics.current_messages - before
+                    )
 
             if not wrote and not any(group_active):  # pragma: no cover
                 break
@@ -300,6 +352,7 @@ class SimBackend(ExecutorBackend):
             # deserialize + decide on another round
             next_active = [False] * engine.num_channels
             for worker in engine.workers:
+                before = metrics.current_messages if track else 0
                 t0 = time.perf_counter()
                 routed = worker.route_inbox()
                 for cid, channel in enumerate(worker.channels):
@@ -314,6 +367,10 @@ class SimBackend(ExecutorBackend):
                 seconds = time.perf_counter() - t0
                 metrics.record_compute(worker.worker_id, seconds)
                 metrics.record_phase(worker.worker_id, "serialize", seconds)
+                if track:
+                    self._live_step["messages"][worker.worker_id] += (
+                        metrics.current_messages - before
+                    )
             group_active = next_active
 
         if step_log is not None:
@@ -327,6 +384,35 @@ class SimBackend(ExecutorBackend):
             confined_recovery(self.engine, doomed)
         else:
             rollback_recovery(self.engine, doomed)
+            if self._live_writers is not None:
+                # the collector rolled back to the checkpoint; so does the
+                # live plane (re-executed supersteps re-accumulate)
+                for writer in self._live_writers:
+                    writer.rewind()
+
+    # -- live telemetry ------------------------------------------------------
+    def publish_live(self) -> None:
+        if self._live_writers is None:
+            return
+        rec = self.engine.metrics.records[-1]
+        step = self._live_step
+        for w, writer in enumerate(self._live_writers):
+            writer.add(
+                superstep=1,
+                active=int(self._active_sets[w].size),
+                rounds=rec.rounds,
+                net_bytes=0 if step is None else step["net"][w],
+                local_bytes=0 if step is None else step["local"][w],
+                messages=0 if step is None else step["messages"][w],
+                **{phase: seconds[w] for phase, seconds in rec.phases.items()},
+            )
+            writer.publish()
+        self._live_step = None
+
+    def live_mark(self) -> None:
+        if self._live_writers is not None:
+            for writer in self._live_writers:
+                writer.mark()
 
     def collect_results(self) -> dict:
         data: dict = {}

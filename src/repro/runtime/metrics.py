@@ -187,6 +187,14 @@ class MetricsCollector:
         assert self._current is not None
         self._current.messages += n
 
+    @property
+    def current_messages(self) -> int:
+        """Messages counted so far in the in-flight superstep — the live
+        plane's per-worker delta capture point on the sim backend (the
+        sim's workers share this one collector, so per-worker attribution
+        means bracketing each worker's sequential slice of the loop)."""
+        return self._current.messages if self._current is not None else 0
+
     def count_channel_bytes(self, label: str, nbytes: int, local: bool) -> None:
         """Attribute payload bytes to a channel (the per-pattern traffic
         breakdown the paper's analyses reason about)."""
@@ -220,6 +228,22 @@ class MetricsCollector:
                 superstep=len(self.records),
                 nbytes=int(sum(per_worker_nbytes)),
             )
+
+    def record_alert(self, kind, worker, superstep, value, threshold) -> dict:
+        """Account one live-monitor alert (straggler/anomaly flagged *in
+        flight*; see :class:`repro.obs.live.LiveMonitor`) as an "alert"
+        instant under the run span, and return the alert dict that ends
+        up in ``EngineResult.live_alerts``."""
+        alert = {
+            "kind": str(kind),
+            "worker": int(worker),
+            "superstep": int(superstep),
+            "value": round(float(value), 4),
+            "threshold": float(threshold),
+        }
+        if self.trace is not None:
+            self.trace.instant("alert", parent=self._run_span, **alert)
+        return alert
 
     def record_log_bytes(self, nbytes: int) -> None:
         self.log_bytes += int(nbytes)

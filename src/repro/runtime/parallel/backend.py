@@ -105,6 +105,7 @@ class ProcessBackend(ExecutorBackend):
                 "owner": engine.owner,
                 "seeds": engine.initial_active,
                 "factory": engine.program_factory,
+                "live": engine.live.spec if engine.live is not None else None,
             },
             engine.generation,
         )

@@ -254,6 +254,9 @@ class WorkerPool:
             # resource tracker's claim on the parent's segments
             "unregister_shm": self._ctx.get_start_method() != "fork",
             "init_channels": False,
+            # live telemetry attachment spec ({"name", "num_workers"} or
+            # None); each child writes its own slot of the segment
+            "live": cfg.get("live"),
         }
         return export, child_cfg
 

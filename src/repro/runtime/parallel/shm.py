@@ -30,6 +30,7 @@ __all__ = [
     "attach_array",
     "RingBuffer",
     "RingTimeout",
+    "untrack_segment",
     "DEFAULT_RING_CAPACITY",
 ]
 
@@ -96,16 +97,18 @@ def attach_array(
     """
     seg = shared_memory.SharedMemory(name=spec["name"])
     if unregister:
-        _untrack(seg)
+        untrack_segment(seg)
     shape = tuple(spec["shape"])
     arr = np.ndarray(shape, dtype=np.dtype(spec["dtype"]), buffer=seg.buf)
     arr.flags.writeable = False
     return arr, seg
 
 
-def _untrack(seg: shared_memory.SharedMemory) -> None:
-    """Drop a spawned child's private resource-tracker claim on a segment
-    the parent owns (bpo-39959; see :func:`attach_array`)."""
+def untrack_segment(seg: shared_memory.SharedMemory) -> None:
+    """Drop this process's private resource-tracker claim on a segment
+    another process owns (bpo-39959; see :func:`attach_array`).  Shared
+    by every independent attacher in the tree — spawned workers, the
+    live-metrics plane (`repro.obs.live`), external `repro top`."""
     try:  # pragma: no cover - spawn-only path
         from multiprocessing import resource_tracker
 
@@ -191,7 +194,7 @@ class RingBuffer:
     def attach(cls, spec: dict, unregister: bool = False) -> "RingBuffer":
         seg = shared_memory.SharedMemory(name=spec["name"])
         if unregister:
-            _untrack(seg)
+            untrack_segment(seg)
         return cls(seg, spec["capacity"])
 
     def close(self, unlink: bool = False) -> None:

@@ -438,6 +438,8 @@ class _WorkerProcess:
         self.worker: Worker | None = None
         self.host: _WorkerHost | None = None
         self.active = np.empty(0, dtype=np.int64)
+        self.live = None
+        self.live_writer = None
         self.transport: _RingTransport | None = None
         if rings is not None:
             unreg = rings["unregister"]
@@ -495,6 +497,23 @@ class _WorkerProcess:
                 channel.initialize()
         self.worker, self.host, self.segments = worker, host, segments
 
+        # live telemetry plane: (re)attach the engine's segment and start
+        # this worker's slot from zero — a reconfigure means a new engine
+        # (or streaming epoch), and its collector also starts from zero
+        if self.live is not None:
+            try:
+                self.live.close()
+            except Exception:  # pragma: no cover
+                pass
+            self.live = None
+        self.live_writer = None
+        if cfg.get("live") is not None:
+            # deferred import: obs.live itself imports from this package
+            from repro.obs.live import LiveMetrics
+
+            self.live = LiveMetrics.attach(cfg["live"], unregister=unreg)
+            self.live_writer = self.live.writer(self.worker_id)
+
         if old_segments:
             # the previous generation's mappings: every view should be
             # unreachable now; collect cycles, then unmap best-effort (a
@@ -511,6 +530,11 @@ class _WorkerProcess:
         return len(worker.channels)
 
     def close(self) -> None:
+        if self.live is not None:
+            try:
+                self.live.close()
+            except Exception:  # pragma: no cover
+                pass
         if self.transport is not None:
             try:
                 self.transport.close()
@@ -545,6 +569,16 @@ class _WorkerProcess:
                 t0 = time.perf_counter()
                 worker.run_compute(self.active)
                 seconds = time.perf_counter() - t0
+                if self.live_writer is not None:
+                    # messages are read *before* the reply's counters.flush;
+                    # byte/round contributions follow per exchange round
+                    self.live_writer.add(
+                        superstep=1,
+                        active=int(self.active.size),
+                        messages=counters.messages,
+                        compute=seconds,
+                    )
+                    self.live_writer.publish()
                 send_msg(
                     conn,
                     {
@@ -589,6 +623,20 @@ class _WorkerProcess:
                         raise RuntimeError(f"data arrived for inactive channel {cid}")
                 seconds += time.perf_counter() - t0
 
+                if self.live_writer is not None:
+                    self.live_writer.add(
+                        rounds=1,
+                        net_bytes=sum(
+                            len(b)
+                            for peer, b in enumerate(out_bufs)
+                            if peer != worker_id
+                        ),
+                        local_bytes=len(out_bufs[worker_id]),
+                        messages=counters.messages,
+                        serialize=seconds,
+                        exchange=wire_seconds,
+                    )
+                    self.live_writer.publish()
                 reply = {
                     "sent": np.array([len(b) for b in out_bufs], dtype=np.int64),
                     "next_active": next_active,
@@ -616,7 +664,9 @@ class _WorkerProcess:
                 worker.program.before_superstep()
                 self.active = worker.begin_superstep()
                 my_active = int(self.active.size)
+                t_vote = time.perf_counter()
                 total = transport.vote_and_total(msg["seq"], my_active)
+                vote_s = time.perf_counter() - t_vote
                 if total == 0:
                     continue  # the parent reads the same votes; run over
 
@@ -677,6 +727,25 @@ class _WorkerProcess:
                         record["frames"] = transport.round_frames()
                     rounds.append(record)
 
+                if self.live_writer is not None:
+                    step_net = step_local = 0
+                    for record in rounds:
+                        sent = record["sent"]
+                        step_net += int(sent.sum() - sent[worker_id])
+                        step_local += int(sent[worker_id])
+                    self.live_writer.add(
+                        superstep=1,
+                        active=my_active,
+                        rounds=len(rounds),
+                        net_bytes=step_net,
+                        local_bytes=step_local,
+                        messages=counters.messages,
+                        barrier=vote_s,
+                        compute=compute_s,
+                        serialize=codec_s,
+                        exchange=wire_s,
+                    )
+                    self.live_writer.publish()
                 send_msg(
                     conn,
                     {
@@ -699,11 +768,17 @@ class _WorkerProcess:
 
             elif cmd == "capture":
                 blob = encode_state(capture_worker_state(worker))
+                if self.live_writer is not None:
+                    # checkpoint boundary: rollback recovery rewinds the
+                    # live counters to exactly this point
+                    self.live_writer.mark()
                 send_msg(conn, {"blob": blob})
 
             elif cmd == "restore":
                 load_worker_state(worker, decode_state(msg["blob"]))
                 host.step_num = msg["step_num"]
+                if self.live_writer is not None:
+                    self.live_writer.rewind()
                 send_msg(conn, {"ok": True})
 
             elif cmd == "configure":

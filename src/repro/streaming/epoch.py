@@ -105,6 +105,12 @@ class EpochEngine:
         emits one ``stream`` root span with one ``epoch`` span per
         epoch, each wrapping that epoch's engine ``run`` span (see
         ARCHITECTURE.md §10).  The caller owns the recorder.
+    live:
+        Optional :class:`~repro.obs.live.LiveMetrics` segment shared by
+        every epoch: before each epoch's engine runs, the segment's
+        header epoch advances and the per-worker slots restart from zero
+        (each epoch gets a fresh collector too, so live/collector parity
+        holds within every epoch).  The caller owns the segment.
     """
 
     def __init__(
@@ -121,6 +127,7 @@ class EpochEngine:
         pool_reuse: bool = True,
         transport: str | None = None,
         trace=None,
+        live=None,
     ) -> None:
         if refresh not in REFRESH_MODES:
             raise ValueError(f"refresh must be one of {REFRESH_MODES}, got {refresh!r}")
@@ -138,6 +145,7 @@ class EpochEngine:
         self.pool_reuse = bool(pool_reuse)
         self.pool = None  # created lazily for executor="process"
         self.trace = trace
+        self.live = live
         self._stream_span: int | None = None
         if partition is None:
             partition = hash_partition(graph.num_vertices, num_workers, seed=partition_seed)
@@ -208,6 +216,11 @@ class EpochEngine:
                 affected=plan.affected,
                 compacted=compacted,
             )
+        if self.live is not None:
+            # live rollover: observers see the header epoch advance; the
+            # slots restart from zero when each worker's writer is rebuilt
+            # for the new engine (sim) / reconfigured child (process)
+            self.live.roll_epoch(self.epoch_num + 1)
         engine = ChannelEngine(
             new_graph,
             plan.program_factory,
@@ -216,6 +229,7 @@ class EpochEngine:
             network=self.network,
             initial_active=plan.seeds,
             trace=self.trace,
+            live=self.live,
             **self._executor_kwargs(),
         )
         if epoch_span is not None:
