@@ -3,7 +3,7 @@
 Compares a freshly produced benchmark artifact against the committed
 baseline of the same kind and fails (exit 1) on anything that should
 never regress.  The artifact kind — ``parallel``, ``bulk``,
-``recovery`` or ``streaming`` — is auto-detected from the row schema
+``recovery``, ``scale`` or ``streaming`` — is auto-detected from the row schema
 (or the filename), and each kind gates on its own field set:
 
 * **Parity is environment-independent and always enforced.**  Every
@@ -99,6 +99,16 @@ SPECS: dict[str, GateSpec] = {
             comparable=("dataset", "checkpoint_every"),
         ),
         GateSpec(
+            kind="scale",
+            key=("workload", "workers", "scale"),
+            # rss_ok is the out-of-core claim itself: peak per-worker RSS
+            # growth stayed well under the full edge-list size
+            parity=("parity", "rss_ok"),
+            exact=("vertices", "arcs", "supersteps", "net_mb"),
+            wall=("build_wall_s", "run_wall_s", "sim_wall_s"),
+            comparable=("edge_factor", "seed", "iterations"),
+        ),
+        GateSpec(
             kind="streaming",
             key=("algorithm", "delta_frac"),
             parity=("identical",),
@@ -127,6 +137,8 @@ def detect_kind(payload: dict, path: Path | str | None = None) -> str:
         return "bulk"
     if "fail_at" in row or "recovery_bytes" in row:
         return "recovery"
+    if "rss_ok" in row or "peak_rss_growth_mb" in row:
+        return "scale"
     if "delta_frac" in row:
         return "streaming"
     if path is not None:

@@ -19,6 +19,10 @@ Examples::
         --executor process --workers 2 --metrics-port 9109 --live-name myrun
     python -m repro top myrun            # refreshing per-worker table
     curl http://127.0.0.1:9109/metrics   # Prometheus text format, mid-run
+    python -m repro generate rmat big.csr --scale 19 --edge-factor 20
+    python -m repro info big.csr           # store kind, sizes, footprint
+    python -m repro run pagerank --graph big.csr --variant scatter \\
+        --mode bulk --executor process --workers 4 --partition degree
     python -m repro datasets
     python -m repro tables 6
 """
@@ -34,8 +38,12 @@ import numpy as np
 from repro.bench.datasets import DATASETS, EXTRA_DATASETS, load_dataset, table3_rows
 from repro.bench.runner import CELLS
 from repro.core.engine import ChannelEngine
-from repro.graph.io import load_edgelist
-from repro.graph.partition import metis_like_partition, range_partition
+from repro.graph.io import load_graph
+from repro.graph.partition import (
+    degree_range_partition,
+    metis_like_partition,
+    range_partition,
+)
 
 __all__ = ["main"]
 
@@ -75,7 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(DATASETS) + sorted(EXTRA_DATASETS),
         help="built-in dataset",
     )
-    src.add_argument("--graph", help="edge-list file (see repro.graph.io)")
+    src.add_argument(
+        "--graph",
+        help="graph file or mmap store directory (edge list, .npz, or a "
+        "directory written by `repro generate` / load_edgelist_chunked; "
+        "stores are attached in place, nothing is loaded into RAM)",
+    )
     run.add_argument("--variant", default="basic")
     run.add_argument(
         "--mode",
@@ -103,9 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--partition",
-        choices=["hash", "range", "metis"],
+        choices=["hash", "range", "degree", "metis"],
         default="hash",
-        help="vertex partitioner (see repro.graph.partition)",
+        help="vertex partitioner (see repro.graph.partition); `degree` "
+        "balances contiguous ranges by arc count using only the O(V) "
+        "indptr array — the right default for skewed on-disk graphs",
     )
     run.add_argument(
         "--partitioned",
@@ -170,7 +185,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(DATASETS) + sorted(EXTRA_DATASETS),
         help="built-in starting graph",
     )
-    ssrc.add_argument("--graph", help="edge-list file for the starting graph")
+    ssrc.add_argument(
+        "--graph",
+        help="starting graph: edge-list file, .npz, or mmap store "
+        "directory (the delta overlay composes over any store)",
+    )
     stream.add_argument(
         "--updates",
         required=True,
@@ -288,6 +307,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="refresh period in loop mode (exit with ctrl-c)",
     )
 
+    info = sub.add_parser(
+        "info",
+        help="inspect a graph: store kind, sizes, dtypes, footprint",
+    )
+    info.add_argument(
+        "graph",
+        help="built-in dataset name, mmap store directory, .npz, or "
+        "edge-list file",
+    )
+    info.add_argument("--json", action="store_true", help="machine-readable output")
+
+    gen = sub.add_parser(
+        "generate",
+        help="write a synthetic graph straight to an on-disk mmap store "
+        "(chunked; peak memory stays O(V), whatever the edge count)",
+    )
+    gen.add_argument("kind", choices=["rmat", "erdos-renyi"])
+    gen.add_argument("out", help="store directory to create")
+    gen.add_argument(
+        "--scale", type=int, default=20, help="rmat: 2**scale vertices"
+    )
+    gen.add_argument(
+        "--edge-factor", type=int, default=16, help="rmat: arcs per vertex"
+    )
+    gen.add_argument(
+        "--vertices", type=int, default=1 << 20, help="erdos-renyi: vertex count"
+    )
+    gen.add_argument(
+        "--avg-degree", type=float, default=16.0, help="erdos-renyi: arcs per vertex"
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--undirected", action="store_true")
+    gen.add_argument(
+        "--weighted", action="store_true", help="rmat only: uniform [1,100) weights"
+    )
+    gen.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=1 << 20,
+        metavar="N",
+        help="arcs generated per chunk; with --seed it identifies the "
+        "exact output graph",
+    )
+
     sub.add_parser("datasets", help="print the Table III dataset inventory")
 
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -363,7 +426,14 @@ def _cmd_run(args) -> int:
         program += "-bulk"
     runner = CELLS[(algo, program)]
 
-    graph = load_dataset(args.dataset) if args.dataset else load_edgelist(args.graph)
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+    else:
+        try:
+            graph = load_graph(args.graph)
+        except (OSError, ValueError) as exc:
+            print(f"cannot open {args.graph!r}: {exc}", file=sys.stderr)
+            return 2
     if args.partitioned and args.partition not in ("hash", "metis"):
         print(
             "--partitioned (deprecated) conflicts with --partition; "
@@ -393,6 +463,8 @@ def _cmd_run(args) -> int:
         kwargs["partition"] = metis_like_partition(graph, args.workers, seed=0)
     elif partition == "range":
         kwargs["partition"] = range_partition(graph.num_vertices, args.workers)
+    elif partition == "degree":
+        kwargs["partition"] = degree_range_partition(graph, args.workers)
     if args.checkpoint_every is not None:
         kwargs["checkpoint_every"] = args.checkpoint_every
     if schedule is not None:
@@ -460,7 +532,14 @@ def _cmd_stream(args) -> int:
     if args.compact_threshold <= 0:
         print("--compact-threshold must be positive", file=sys.stderr)
         return 2
-    graph = load_dataset(args.dataset) if args.dataset else load_edgelist(args.graph)
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+    else:
+        try:
+            graph = load_graph(args.graph)
+        except (OSError, ValueError) as exc:
+            print(f"cannot open {args.graph!r}: {exc}", file=sys.stderr)
+            return 2
     try:
         batches = load_update_stream(args.updates, epoch_size=args.epoch_size)
     except (OSError, ValueError) as exc:
@@ -609,6 +688,83 @@ def _cmd_top(args) -> int:
         live.close()
 
 
+def _graph_info(name: str, graph) -> dict:
+    """One ``repro info`` row: where the graph lives and what it costs."""
+    store = graph.store
+    fp = store.footprint()
+    row = {
+        "graph": name,
+        "store": store.kind,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_input_edges,
+        "arcs": graph.num_edges,
+        "directed": graph.directed,
+        "weighted": graph.weighted,
+        "avg_degree": round(graph.avg_degree, 3),
+        "indptr_dtype": str(graph.indptr.dtype),
+        "indices_dtype": str(graph.indices.dtype),
+        "resident_mb": round(fp["resident_bytes"] / 1e6, 3),
+        "on_disk_mb": round(fp["on_disk_bytes"] / 1e6, 3),
+    }
+    if store.kind == "mmap":
+        row["path"] = str(store.path)
+    return row
+
+
+def _cmd_info(args) -> int:
+    from repro.obs import format_table
+
+    if args.graph in DATASETS or args.graph in EXTRA_DATASETS:
+        graph = load_dataset(args.graph)
+    else:
+        try:
+            graph = load_graph(args.graph)
+        except (OSError, ValueError) as exc:
+            print(f"cannot open {args.graph!r}: {exc}", file=sys.stderr)
+            return 2
+    row = _graph_info(args.graph, graph)
+    if args.json:
+        print(json.dumps(row))
+    else:
+        # one property per line reads better than one very wide table row
+        print(format_table([{"property": k, "value": v} for k, v in row.items()]))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.graph.generators import erdos_renyi_to_disk, rmat_to_disk
+    from repro.obs import format_table
+
+    if args.chunk_edges < 1:
+        print("--chunk-edges must be >= 1", file=sys.stderr)
+        return 2
+    if args.kind == "rmat":
+        graph = rmat_to_disk(
+            args.out,
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            seed=args.seed,
+            directed=not args.undirected,
+            weighted=args.weighted,
+            chunk_edges=args.chunk_edges,
+        )
+    else:
+        if args.weighted:
+            print("--weighted is rmat-only", file=sys.stderr)
+            return 2
+        graph = erdos_renyi_to_disk(
+            args.out,
+            args.vertices,
+            args.avg_degree,
+            seed=args.seed,
+            directed=not args.undirected,
+            chunk_edges=args.chunk_edges,
+        )
+    row = _graph_info(args.out, graph)
+    print(format_table([{"property": k, "value": v} for k, v in row.items()]))
+    return 0
+
+
 def _cmd_datasets() -> int:
     rows = table3_rows()
     cols = list(rows[0])
@@ -628,6 +784,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "tables":

@@ -7,15 +7,20 @@ generators are deterministic given a seed and fully vectorized.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.graph.store import build_mmap_store
 
 __all__ = [
     "chain",
     "random_tree",
     "rmat",
+    "rmat_to_disk",
     "erdos_renyi",
+    "erdos_renyi_to_disk",
     "grid_road",
     "star",
     "complete",
@@ -103,6 +108,68 @@ def rmat(
     return Graph(n, src, dst, weights=weights, directed=directed)
 
 
+def _rmat_bits(rng, m: int, scale: int, a: float, b: float, c: float):
+    """One batch of ``m`` RMAT arcs from an already-positioned ``rng``."""
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        go_right = r >= a + c  # dst high bit (quadrants b and d)
+        go_down = ((r >= a) & (r < a + c)) | (r >= a + b + c)  # src high bit
+        src |= go_down.astype(np.int64) << bit
+        dst |= go_right.astype(np.int64) << bit
+    return src, dst
+
+
+def rmat_to_disk(
+    out: str | os.PathLike,
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    directed: bool = True,
+    weighted: bool = False,
+    chunk_edges: int = 1 << 20,
+) -> Graph:
+    """:func:`rmat` that writes straight to an mmap store at ``out``.
+
+    Arcs are generated ``chunk_edges`` at a time and streamed through the
+    two-pass counting CSR build — peak memory is O(V + chunk), never
+    O(E), so 10M–1B-edge graphs come out of a laptop.  Each chunk draws
+    from its own ``default_rng([seed, chunk_index])`` stream, which is
+    what lets the build's passes regenerate identical chunks without an
+    intermediate edge file (and makes the output independent of
+    ``chunk_edges`` only per-chunk-stream — the *pair* (seed,
+    chunk_edges) identifies the graph).  Global deduplication needs a
+    full-edge-set view, so unlike the in-memory generator there is no
+    ``dedupe`` option; RMAT duplicate rates are low at these sizes and
+    parallel arcs are legal inputs.  Self-loops are dropped, matching
+    :func:`rmat`.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("a + b + c must lie in (0, 1)")
+    n = 1 << scale
+    m = edge_factor * n
+
+    def chunks():
+        for ci, lo in enumerate(range(0, m, chunk_edges)):
+            rng = np.random.default_rng([seed, ci])
+            src, dst = _rmat_bits(rng, min(chunk_edges, m - lo), scale, a, b, c)
+            if not directed:
+                src, dst = np.minimum(src, dst), np.maximum(src, dst)
+            loops = src == dst
+            src, dst = src[~loops], dst[~loops]
+            w = rng.uniform(1.0, 100.0, size=src.size) if weighted else None
+            yield src, dst, w
+
+    store = build_mmap_store(
+        out, chunks, num_vertices=n, directed=directed, weighted=weighted
+    )
+    return Graph.from_store(store)
+
+
 def erdos_renyi(n: int, avg_degree: float, seed: int = 0, directed: bool = True) -> Graph:
     """G(n, m) random graph with ``m = n * avg_degree`` arcs."""
     m = int(n * avg_degree)
@@ -111,6 +178,32 @@ def erdos_renyi(n: int, avg_degree: float, seed: int = 0, directed: bool = True)
     dst = rng.integers(0, n, size=m, dtype=np.int64)
     loops = src == dst
     return Graph(n, src[~loops], dst[~loops], directed=directed)
+
+
+def erdos_renyi_to_disk(
+    out: str | os.PathLike,
+    n: int,
+    avg_degree: float,
+    seed: int = 0,
+    directed: bool = True,
+    chunk_edges: int = 1 << 20,
+) -> Graph:
+    """:func:`erdos_renyi` that writes straight to an mmap store at ``out``
+    (chunked like :func:`rmat_to_disk`: per-chunk rng streams, O(V + chunk)
+    peak memory)."""
+    m = int(n * avg_degree)
+
+    def chunks():
+        for ci, lo in enumerate(range(0, m, chunk_edges)):
+            rng = np.random.default_rng([seed, ci])
+            size = min(chunk_edges, m - lo)
+            src = rng.integers(0, n, size=size, dtype=np.int64)
+            dst = rng.integers(0, n, size=size, dtype=np.int64)
+            loops = src == dst
+            yield src[~loops], dst[~loops], None
+
+    store = build_mmap_store(out, chunks, num_vertices=n, directed=directed)
+    return Graph.from_store(store)
 
 
 def grid_road(rows: int, cols: int, seed: int = 0, weighted: bool = True) -> Graph:

@@ -12,6 +12,8 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.graph.store import GraphStore, MemoryStore
+
 __all__ = ["Graph"]
 
 
@@ -42,6 +44,7 @@ class Graph:
         "indptr",
         "indices",
         "weights",
+        "store",
         "_rev_indptr",
         "_rev_indices",
         "_rev_weights",
@@ -83,6 +86,9 @@ class Graph:
         )
         _check_index_dtype("indptr", self.indptr)
         _check_index_dtype("indices", self.indices)
+        self.store: GraphStore = MemoryStore(
+            self.num_vertices, self.directed, self.indptr, self.indices, self.weights
+        )
         self._rev_indptr: np.ndarray | None = None
         self._rev_indices: np.ndarray | None = None
         self._rev_weights: np.ndarray | None = None
@@ -111,6 +117,7 @@ class Graph:
         weights: np.ndarray | None = None,
         directed: bool = True,
         validate: bool = True,
+        store: GraphStore | None = None,
     ) -> "Graph":
         """Wrap already-built CSR arrays **without copying them**.
 
@@ -155,10 +162,34 @@ class Graph:
         g.indptr = indptr
         g.indices = indices
         g.weights = weights
+        g.store = store or MemoryStore(
+            g.num_vertices, g.directed, indptr, indices, weights
+        )
         g._rev_indptr = None
         g._rev_indices = None
         g._rev_weights = None
         return g
+
+    @classmethod
+    def from_store(cls, store: GraphStore, validate: bool = False) -> "Graph":
+        """A Graph served by ``store``'s arrays, wherever they live.
+
+        The store remembers where the bytes came from (``graph.store.kind``
+        is ``"memory"``, ``"mmap"`` or ``"shm"``), which is how the
+        process executor decides between attach-by-path and copy-into-shm.
+        Stores are built by validated code paths, so content scans are
+        skipped by default.
+        """
+        arrs = store.arrays()
+        return cls.from_csr(
+            store.num_vertices,
+            arrs["indptr"],
+            arrs["indices"],
+            weights=arrs.get("weights"),
+            directed=store.directed,
+            validate=validate,
+            store=store,
+        )
 
     def csr_arrays(self) -> dict[str, np.ndarray]:
         """The graph's backing CSR arrays, by name (``weights`` only when

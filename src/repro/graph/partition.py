@@ -19,6 +19,7 @@ from repro.graph.graph import Graph
 __all__ = [
     "hash_partition",
     "range_partition",
+    "degree_range_partition",
     "metis_like_partition",
     "extend_partition",
     "partition_quality",
@@ -61,6 +62,30 @@ def range_partition(num_vertices: int, num_workers: int) -> np.ndarray:
     return (
         np.arange(num_vertices, dtype=np.int64) * num_workers // max(num_vertices, 1)
     )
+
+
+def degree_range_partition(graph: Graph, num_workers: int) -> np.ndarray:
+    """Contiguous ID ranges balanced by *arc count* instead of vertex count.
+
+    Reads only the O(V) ``indptr`` array — ``indptr[v]`` is already the
+    cumulative out-degree — so partitioning a 10M-edge mmap graph never
+    touches the edge files: worker ``w`` owns the id range whose arcs span
+    ``[w/M, (w+1)/M)`` of the total.  On skewed (RMAT-style) graphs this
+    equalizes per-worker compute and scatter volume where plain
+    :func:`range_partition` would hand one worker every hub.  Trailing
+    zero-degree vertices all land on the last worker; graphs with no arcs
+    fall back to vertex-balanced ranges.
+    """
+    indptr = np.asarray(graph.indptr)
+    total = int(indptr[-1])
+    n = graph.num_vertices
+    if total == 0:
+        return range_partition(n, num_workers)
+    # midpoint of each vertex's arc span decides its bucket, so a vertex
+    # straddling a boundary goes to the side holding most of its arcs
+    mid = (indptr[:-1] + indptr[1:]) // 2
+    owner = (mid * num_workers // total).astype(np.int64)
+    return np.minimum(owner, num_workers - 1)
 
 
 def metis_like_partition(graph: Graph, num_workers: int, seed: int = 0) -> np.ndarray:

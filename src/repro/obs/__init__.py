@@ -26,7 +26,12 @@ and a multiprocess run emit schema-identical traces (ARCHITECTURE.md
 """
 
 from repro.obs.chrome import chrome_trace_events, export_chrome_trace
-from repro.obs.export import MetricsHTTPServer, format_top, prometheus_text
+from repro.obs.export import (
+    MetricsHTTPServer,
+    format_table,
+    format_top,
+    prometheus_text,
+)
 from repro.obs.live import (
     LIVE_COUNTERS,
     LIVE_GAUGES,
@@ -69,6 +74,7 @@ __all__ = [
     "LiveSlotWriter",
     "read_proc_stats",
     "MetricsHTTPServer",
+    "format_table",
     "format_top",
     "prometheus_text",
 ]

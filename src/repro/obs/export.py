@@ -10,6 +10,9 @@ Three read-only views of a :class:`~repro.obs.live.LiveMetrics` segment:
   ``--metrics-port`` CLI flag, so any Prometheus scraper or plain
   ``curl`` can watch a run in flight.
 - :func:`format_top`: the per-worker table ``repro top`` renders.
+- :func:`format_table`: the generic fixed-width table renderer behind
+  ``repro info`` (and anything else that wants ``repro top``'s look
+  without its hand-packed per-worker columns).
 
 All three take fresh :meth:`~repro.obs.live.LiveMetrics.snapshot` reads;
 none of them ever writes to the segment.
@@ -23,7 +26,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs.live import LiveMetrics
 
-__all__ = ["MetricsHTTPServer", "format_top", "prometheus_text"]
+__all__ = ["MetricsHTTPServer", "format_table", "format_top", "prometheus_text"]
 
 _PHASES = ("barrier", "compute", "serialize", "exchange")
 
@@ -167,6 +170,49 @@ class MetricsHTTPServer:
             self._thread.join(timeout=5.0)
         self._httpd = None
         self._thread = None
+
+
+def format_table(
+    rows: list[dict], columns: list[str] | None = None, title: str | None = None
+) -> str:
+    """Render dict rows as a fixed-width text table.
+
+    Column order follows ``columns`` (default: first row's key order);
+    numeric cells are right-aligned, everything else left-aligned, floats
+    shown to 3 decimals.  The style matches :func:`format_top`'s
+    upper-case headers so ``repro info`` and ``repro top`` read alike.
+    """
+    if not rows:
+        return title or ""
+    cols = columns if columns is not None else list(rows[0])
+
+    def cell(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    grid = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    numeric = [
+        all(isinstance(r.get(c), (int, float)) and not isinstance(r.get(c), bool)
+            for r in rows)
+        for c in cols
+    ]
+    widths = [
+        max(len(c.upper()), max(len(g[i]) for g in grid)) for i, c in enumerate(cols)
+    ]
+
+    def line(parts: list[str]) -> str:
+        out = []
+        for i, p in enumerate(parts):
+            out.append(p.rjust(widths[i]) if numeric[i] else p.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines = [] if title is None else [title]
+    lines.append(line([c.upper() for c in cols]))
+    lines.extend(line(g) for g in grid)
+    return "\n".join(lines)
 
 
 def _mb(nbytes: float) -> str:

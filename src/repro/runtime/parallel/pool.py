@@ -240,14 +240,27 @@ class WorkerPool:
         build the child-side spec dict."""
         graph = cfg["graph"]
         export = SharedArrayExport()
-        csr = graph.csr_arrays()
+        # attach-by-path beats copy-into-shm: a graph whose store already
+        # lives on disk (mmap) ships to children as just its path — the
+        # kernel page cache shares the physical pages across processes,
+        # and the parent never pays a CSR-sized copy.  Everything else is
+        # exported into POSIX shared memory exactly as before.
+        graph_desc = graph.store.describe()
+        if graph_desc is None:
+            csr = graph.csr_arrays()
+            graph_desc = {
+                "kind": "shm",
+                "num_vertices": graph.num_vertices,
+                "directed": graph.directed,
+                "indptr": export.share(csr["indptr"]),
+                "indices": export.share(csr["indices"]),
+                "weights": export.share(csr["weights"]) if "weights" in csr else None,
+            }
         child_cfg = {
             "num_vertices": graph.num_vertices,
             "directed": graph.directed,
             "num_workers": self.num_workers,
-            "indptr": export.share(csr["indptr"]),
-            "indices": export.share(csr["indices"]),
-            "weights": export.share(csr["weights"]) if "weights" in csr else None,
+            "graph": graph_desc,
             "owner": export.share(np.asarray(cfg["owner"], dtype=np.int64)),
             "seeds": cfg["seeds"],
             # see attach_array: spawned children must drop their private

@@ -92,6 +92,7 @@ import numpy as np
 
 from repro.core.worker import Worker
 from repro.graph.graph import Graph
+from repro.graph.store import attach_store
 from repro.runtime.checkpoint import (
     capture_worker_state,
     decode_state,
@@ -464,14 +465,18 @@ class _WorkerProcess:
 
         segments: list = []
         unreg = cfg["unregister_shm"]
-        indptr, seg = attach_array(cfg["indptr"], unreg)
-        segments.append(seg)
-        indices, seg = attach_array(cfg["indices"], unreg)
-        segments.append(seg)
-        weights = None
-        if cfg["weights"] is not None:
-            weights, seg = attach_array(cfg["weights"], unreg)
-            segments.append(seg)
+        # the graph arrives as a store descriptor: shm segment specs to
+        # map, or an mmap path to re-open (attach-by-path; the page cache
+        # shares the physical pages, nothing crosses the pipe).  The store
+        # joins `segments` — teardown duck-types close()
+        store = attach_store(cfg["graph"], unregister=unreg)
+        if store.num_vertices != cfg["num_vertices"]:
+            raise ValueError(
+                f"graph store has {store.num_vertices} vertices, "
+                f"configuration says {cfg['num_vertices']}"
+            )
+        segments.append(store)
+        arrs = store.arrays()
         owner, seg = attach_array(cfg["owner"], unreg)
         segments.append(seg)
 
@@ -479,11 +484,12 @@ class _WorkerProcess:
         # already validated at construction — don't rescan O(E) per worker
         graph = Graph.from_csr(
             cfg["num_vertices"],
-            indptr,
-            indices,
-            weights,
+            arrs["indptr"],
+            arrs["indices"],
+            arrs.get("weights"),
             directed=cfg["directed"],
             validate=False,
+            store=store,
         )
         host = _WorkerHost(graph, owner, cfg["num_workers"])
         worker = Worker(host, self.worker_id, np.flatnonzero(owner == self.worker_id))

@@ -4,8 +4,8 @@
 ``BENCH_*.json`` and the committed baseline of the same kind; these
 tests pin its contract: parity failures always gate, wall-time only
 gates when both artifacts measured real parallelism, and a dirty-tree
-artifact is never acceptable.  The gate covers all four artifact kinds
-(parallel / bulk / recovery / streaming), and every committed baseline
+artifact is never acceptable.  The gate covers all five artifact kinds
+(parallel / bulk / recovery / scale / streaming), and every committed baseline
 at the repo root must self-gate clean while failing on a perturbed
 parity field.  ``benchmarks/_provenance.py`` is the producer-side half
 of the same guarantee.
@@ -215,6 +215,61 @@ def _recovery_artifact() -> dict:
     }
 
 
+def _scale_artifact() -> dict:
+    return {
+        "edge_factor": 20,
+        "seed": 7,
+        "iterations": 10,
+        "workers": 4,
+        "chunk_edges": 1 << 20,
+        "cpus": 1,
+        "speedup_valid": False,
+        "git": "abc1234",
+        "rows": [
+            {
+                "workload": "pr-scatter-bulk",
+                "workers": 4,
+                "scale": 16,
+                "vertices": 65536,
+                "arcs": 1310065,
+                "edgelist_mb": 20.961,
+                "store_mb": 11.005,
+                "supersteps": 11,
+                "net_mb": 10.544,
+                "build_wall_s": 0.71,
+                "sim_wall_s": 0.32,
+                "run_wall_s": 1.49,
+                "peak_rss_mb": 108.7,
+                "peak_rss_growth_mb": 10.113,
+                "rss_growth_ratio": 0.48,
+                "rss_ok": True,
+                "rss_samples": 4,
+                "parity": True,
+            },
+            {
+                "workload": "pr-scatter-bulk",
+                "workers": 4,
+                "scale": 19,
+                "vertices": 524288,
+                "arcs": 10484537,
+                "edgelist_mb": 167.753,
+                "store_mb": 88.071,
+                "supersteps": 11,
+                "net_mb": 72.721,
+                "build_wall_s": 6.16,
+                "sim_wall_s": 4.85,
+                "run_wall_s": 15.35,
+                "peak_rss_mb": 544.1,
+                "peak_rss_growth_mb": 34.533,
+                "rss_growth_ratio": 0.21,
+                "rss_ok": True,
+                "rss_samples": 4,
+                "parity": True,
+            },
+        ],
+    }
+
+
 def _streaming_artifact() -> dict:
     return {
         "dataset": "stream-road",
@@ -259,6 +314,7 @@ _KIND_FIXTURES = {
     "parallel": _artifact,
     "bulk": _bulk_artifact,
     "recovery": _recovery_artifact,
+    "scale": _scale_artifact,
     "streaming": _streaming_artifact,
 }
 
@@ -267,6 +323,7 @@ _KIND_FIELDS = {
     "parallel": ("parity_shm", "net_mb"),
     "bulk": ("traffic_identical", "supersteps"),
     "recovery": ("identical", "recovery_bytes"),
+    "scale": ("rss_ok", "arcs"),
     "streaming": ("identical", "byte_ratio"),
 }
 

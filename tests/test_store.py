@@ -1,0 +1,431 @@
+"""The pluggable graph-store seam (ARCHITECTURE.md §12).
+
+A ``Graph`` must behave bit-identically whatever backs its CSR arrays:
+in-memory heap arrays, an mmap store on disk, or a SharedMemory export
+in a worker process.  This file pins that contract from every side:
+
+* the CSR parity matrix — every benchmark dataset saved to an mmap
+  store and reloaded, and (per shape class) streamed through the
+  chunked edge-list loader, yields byte-identical ``csr_arrays()``;
+* algorithm parity — PageRank / WCC / SSSP produce identical results,
+  traffic, and counters over memory and mmap stores on the simulated
+  and process backends (both transports), i.e. attach-by-path is
+  indistinguishable from copy-into-shm;
+* composition — DeltaGraph / EpochEngine run over an mmap base without
+  ever writing to it (overlay appends only; the store files stay
+  byte-identical);
+* the builders — two-pass chunked CSR construction, disk generators,
+  loaders, the degree partitioner, the lazy update stream, and the
+  ``repro info`` / ``repro generate`` CLI over store directories.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.algorithms.pagerank import run_pagerank
+from repro.algorithms.sssp import run_sssp
+from repro.algorithms.wcc import run_wcc
+from repro.bench.datasets import DATASETS, EXTRA_DATASETS, load_dataset
+from repro.graph import rmat
+from repro.graph.generators import erdos_renyi_to_disk, rmat_to_disk
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    iter_update_stream,
+    load_edgelist,
+    load_edgelist_chunked,
+    load_graph,
+    load_update_stream,
+    save_edgelist,
+    save_update_stream,
+)
+from repro.graph.partition import degree_range_partition, range_partition
+from repro.graph.store import (
+    MemoryStore,
+    MmapStore,
+    build_mmap_store,
+    is_mmap_store,
+)
+from repro.streaming import EpochEngine, WCCStream, synthesize_stream
+
+ALL_DATASETS = sorted(DATASETS) + sorted(EXTRA_DATASETS)
+
+#: one dataset per CSR shape class for the (slow, text-parsing) chunked
+#: loader matrix: {directed, undirected} x {weighted, unweighted}
+SHAPE_DATASETS = ["wikipedia", "facebook", "usa-road", "rmat24"]
+
+
+def _assert_same_csr(a: Graph, b: Graph):
+    ca, cb = a.csr_arrays(), b.csr_arrays()
+    assert a.num_vertices == b.num_vertices
+    assert a.directed == b.directed
+    assert set(ca) == set(cb)
+    for name in ca:
+        np.testing.assert_array_equal(np.asarray(ca[name]), np.asarray(cb[name]))
+    assert np.asarray(cb["indptr"]).dtype == np.int64
+    assert np.asarray(cb["indices"]).dtype == np.int64
+
+
+def _assert_identical_runs(a, b):
+    np.testing.assert_array_equal(a[0], b[0])
+    ra, rb = a[-1], b[-1]
+    assert ra.data == rb.data
+    ma, mb = ra.metrics, rb.metrics
+    assert ma.channel_breakdown() == mb.channel_breakdown()
+    assert ma.supersteps == mb.supersteps
+    assert ma.total_rounds == mb.total_rounds
+    assert ma.total_net_bytes == mb.total_net_bytes
+    assert ma.total_local_bytes == mb.total_local_bytes
+    assert ma.total_messages == mb.total_messages
+
+
+# ---------------------------------------------------------------------------
+# store kinds
+# ---------------------------------------------------------------------------
+class TestStoreKinds:
+    def test_graph_defaults_to_memory_store(self):
+        g = load_dataset("wikipedia")
+        assert isinstance(g.store, MemoryStore)
+        assert g.store.kind == "memory"
+        assert g.store.describe() is None  # nothing for a worker to attach
+        fp = g.store.footprint()
+        assert fp["resident_bytes"] > 0 and fp["on_disk_bytes"] == 0
+
+    def test_mmap_store_footprint_and_descriptor(self, tmp_path):
+        g = load_dataset("usa-road")
+        store = MmapStore.save(g, tmp_path / "road")
+        assert store.kind == "mmap"
+        assert store.describe() == {"kind": "mmap", "path": str(tmp_path / "road")}
+        fp = store.footprint()
+        assert fp["resident_bytes"] == 0  # pages are the kernel's, not ours
+        assert fp["on_disk_bytes"] >= g.indices.nbytes + g.indptr.nbytes
+        assert is_mmap_store(tmp_path / "road")
+        assert not is_mmap_store(tmp_path)
+
+    def test_open_rejects_non_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MmapStore.open(tmp_path / "nothing")
+        (tmp_path / "meta.json").write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="format"):
+            MmapStore.open(tmp_path)
+
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_save_open_round_trip_is_bit_identical(self, name, tmp_path):
+        g = load_dataset(name)
+        MmapStore.save(g, tmp_path / name)
+        reopened = Graph.from_store(MmapStore.open(tmp_path / name))
+        _assert_same_csr(g, reopened)
+        assert reopened.weighted == g.weighted
+        assert reopened.num_edges == g.num_edges
+
+    def test_zero_edge_weighted_graph_round_trips(self, tmp_path):
+        g = Graph(
+            4,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            weights=np.empty(0, dtype=np.float64),
+            directed=False,
+        )
+        MmapStore.save(g, tmp_path / "empty")
+        back = Graph.from_store(MmapStore.open(tmp_path / "empty"))
+        assert back.weighted and back.num_vertices == 4 and back.num_edges == 0
+
+
+# ---------------------------------------------------------------------------
+# chunked builders and loaders
+# ---------------------------------------------------------------------------
+class TestChunkedLoader:
+    @pytest.mark.parametrize("name", SHAPE_DATASETS)
+    def test_chunked_loader_matches_eager(self, name, tmp_path):
+        g = load_dataset(name)
+        path = tmp_path / f"{name}.txt"
+        save_edgelist(g, path)
+        eager = load_edgelist(path)
+        # small chunks force multi-chunk builds with uneven final chunks
+        chunk = max(1, g.num_input_edges // 7)
+        chunked = load_edgelist_chunked(path, tmp_path / name, chunk_edges=chunk)
+        _assert_same_csr(eager, chunked)
+        assert chunked.store.kind == "mmap"
+
+    def test_gz_edgelist_loads_chunked(self, tmp_path):
+        g = load_dataset("usa-road")
+        path = tmp_path / "road.txt.gz"
+        save_edgelist(g, path)
+        chunked = load_edgelist_chunked(path, tmp_path / "road", chunk_edges=4096)
+        _assert_same_csr(load_edgelist(path), chunked)
+
+    def test_mixed_weight_lines_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2.5\n1 2\n")
+        with pytest.raises(ValueError, match="some edges have weights"):
+            load_edgelist_chunked(path, tmp_path / "bad")
+
+    def test_load_graph_dispatches_on_form(self, tmp_path):
+        g = load_dataset("usa-road")
+        store_dir = tmp_path / "store"
+        MmapStore.save(g, store_dir)
+        as_store = load_graph(store_dir)
+        assert as_store.store.kind == "mmap"
+        _assert_same_csr(g, as_store)
+        text = tmp_path / "g.txt"
+        save_edgelist(g, text)
+        assert load_graph(text).store.kind == "memory"
+
+    def test_build_rejects_negative_ids(self, tmp_path):
+        def chunks():
+            yield (
+                np.array([0, -1], dtype=np.int64),
+                np.array([1, 2], dtype=np.int64),
+                None,
+            )
+
+        with pytest.raises(ValueError, match="out of range"):
+            build_mmap_store(tmp_path / "neg", chunks, num_vertices=4)
+
+    def test_build_rejects_unstable_chunk_factory(self, tmp_path):
+        calls = {"n": 0}
+
+        def chunks():
+            calls["n"] += 1
+            src = 0 if calls["n"] == 1 else 1  # different graph on replay
+            yield (
+                np.array([src], dtype=np.int64),
+                np.array([2], dtype=np.int64),
+                None,
+            )
+
+        with pytest.raises(RuntimeError, match="replay"):
+            build_mmap_store(tmp_path / "flap", chunks, num_vertices=4)
+
+
+class TestDiskGenerators:
+    def test_rmat_to_disk_is_deterministic(self, tmp_path):
+        a = rmat_to_disk(tmp_path / "a", scale=10, edge_factor=6, seed=3)
+        b = rmat_to_disk(tmp_path / "b", scale=10, edge_factor=6, seed=3)
+        _assert_same_csr(a, b)
+        assert a.store.kind == "mmap"
+        assert a.num_vertices == 1 << 10
+
+    def test_rmat_to_disk_chunking_is_part_of_identity(self, tmp_path):
+        # per-chunk RNG streams: the same seed at a different chunk size
+        # is a *different* graph — documented, so pin it
+        a = rmat_to_disk(tmp_path / "a", scale=9, edge_factor=6, seed=3)
+        b = rmat_to_disk(
+            tmp_path / "b", scale=9, edge_factor=6, seed=3, chunk_edges=1 << 10
+        )
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_rmat_to_disk_weighted_undirected(self, tmp_path):
+        g = rmat_to_disk(
+            tmp_path / "g", scale=9, edge_factor=4, seed=1,
+            directed=False, weighted=True,
+        )
+        assert not g.directed and g.weighted
+        assert g.weights.size == g.indptr[-1]
+        assert (g.weights >= 1.0).all() and (g.weights <= 100.0).all()
+
+    def test_erdos_renyi_to_disk_shape(self, tmp_path):
+        n = 2000
+        g = erdos_renyi_to_disk(tmp_path / "er", n, avg_degree=8.0, seed=5)
+        assert g.num_vertices == n and g.store.kind == "mmap"
+        assert 0.8 * 8.0 * n < g.num_edges < 1.2 * 8.0 * n
+
+
+class TestDegreePartition:
+    def test_balances_arcs_without_edges(self):
+        g = load_dataset("wikipedia")  # power-law: range partition skews
+        for workers in (2, 4, 8):
+            owner = degree_range_partition(g, workers)
+            assert owner.dtype == np.int64
+            assert (np.diff(owner) >= 0).all()  # contiguous vertex ranges
+            assert owner.min() >= 0 and owner.max() <= workers - 1
+            arcs = np.diff(g.indptr)
+            shares = np.bincount(owner, weights=arcs, minlength=workers)
+            # skew bound: range_partition on this graph is far worse
+            assert shares.max() <= 1.25 * arcs.sum() / workers
+
+    def test_zero_arc_graph_falls_back_to_range(self):
+        g = Graph(8, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        np.testing.assert_array_equal(
+            degree_range_partition(g, 4), range_partition(8, 4)
+        )
+
+
+# ---------------------------------------------------------------------------
+# algorithm parity: memory vs mmap x sim vs process x pipe vs shm
+# ---------------------------------------------------------------------------
+_ALGOS = {
+    "pagerank": lambda g, **kw: run_pagerank(
+        g, variant="scatter", iterations=6, mode="bulk", **kw
+    ),
+    "wcc": lambda g, **kw: run_wcc(g, variant="basic", mode="bulk", **kw),
+    "sssp": lambda g, **kw: run_sssp(g, variant="basic", mode="bulk", **kw),
+}
+
+
+@pytest.fixture(scope="module")
+def weighted_pair(tmp_path_factory):
+    mem = rmat(9, edge_factor=6, seed=31, directed=True, weighted=True)
+    store_dir = tmp_path_factory.mktemp("stores") / "g"
+    MmapStore.save(mem, store_dir)
+    return mem, Graph.from_store(MmapStore.open(store_dir))
+
+
+@pytest.mark.parametrize("algo", sorted(_ALGOS))
+class TestAlgorithmParity:
+    def test_sim_memory_vs_mmap(self, algo, weighted_pair):
+        mem, mapped = weighted_pair
+        run = _ALGOS[algo]
+        _assert_identical_runs(
+            run(mem, num_workers=2), run(mapped, num_workers=2)
+        )
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_process_over_mmap_matches_sim(self, algo, transport, weighted_pair):
+        """The executor attaches the store by path (no shm copy of the
+        graph) and still reproduces the simulated run bit for bit."""
+        mem, mapped = weighted_pair
+        assert mapped.store.describe()["kind"] == "mmap"
+        run = _ALGOS[algo]
+        sim = run(mem, num_workers=2)
+        proc = run(
+            mapped, num_workers=2, executor="process", transport=transport
+        )
+        _assert_identical_runs(sim, proc)
+
+
+# ---------------------------------------------------------------------------
+# streaming over an immutable mmap base
+# ---------------------------------------------------------------------------
+class TestStreamingOverMmap:
+    def test_epoch_engine_runs_identically_and_leaves_base_untouched(
+        self, tmp_path
+    ):
+        mem = rmat(8, edge_factor=4, seed=9, directed=True)
+        store_dir = tmp_path / "base"
+        MmapStore.save(mem, store_dir)
+        mapped = Graph.from_store(MmapStore.open(store_dir))
+        before = {
+            p.name: p.read_bytes() for p in store_dir.iterdir() if p.is_file()
+        }
+        batches = synthesize_stream(
+            mem, num_epochs=3, insertions_per_epoch=40,
+            deletions_per_epoch=25, seed=11,
+        )
+
+        def epochs(graph):
+            eng = EpochEngine(graph, WCCStream(), num_workers=2)
+            return [eng.bootstrap()] + eng.run(batches)
+
+        for s, m in zip(epochs(mem), epochs(mapped)):
+            assert m.data == s.data
+            assert m.refresh == s.refresh
+            assert m.seeds == s.seeds and m.affected == s.affected
+            sm, mm = s.result.metrics, m.result.metrics
+            assert mm.channel_breakdown() == sm.channel_breakdown()
+            assert mm.total_net_bytes == sm.total_net_bytes
+            assert mm.total_messages == sm.total_messages
+
+        # mutations live in the DeltaGraph overlay; the base store on
+        # disk is immutable
+        after = {
+            p.name: p.read_bytes() for p in store_dir.iterdir() if p.is_file()
+        }
+        assert after == before
+
+
+# ---------------------------------------------------------------------------
+# the lazy update stream
+# ---------------------------------------------------------------------------
+class TestLazyUpdateStream:
+    def _stream_file(self, tmp_path):
+        g = rmat(8, edge_factor=4, seed=9, directed=True)
+        batches = synthesize_stream(
+            g, num_epochs=4, insertions_per_epoch=20,
+            deletions_per_epoch=10, seed=3,
+        )
+        path = tmp_path / "updates.txt"
+        save_update_stream(batches, path)
+        return path
+
+    def _assert_same_batches(self, lazy, eager):
+        assert len(lazy) == len(eager)
+        for lb, eb in zip(lazy, eager):
+            assert lb.timestamp == eb.timestamp
+            np.testing.assert_array_equal(lb.insert_src, eb.insert_src)
+            np.testing.assert_array_equal(lb.insert_dst, eb.insert_dst)
+            np.testing.assert_array_equal(lb.delete_src, eb.delete_src)
+            np.testing.assert_array_equal(lb.delete_dst, eb.delete_dst)
+
+    @pytest.mark.parametrize("epoch_size", [None, 7])
+    def test_lazy_matches_eager(self, tmp_path, epoch_size):
+        path = self._stream_file(tmp_path)
+        lazy = load_update_stream(path, epoch_size=epoch_size, lazy=True)
+        assert not isinstance(lazy, list)  # a generator, not a loaded list
+        self._assert_same_batches(
+            list(lazy), load_update_stream(path, epoch_size=epoch_size)
+        )
+
+    def test_iter_is_the_lazy_loader(self, tmp_path):
+        path = self._stream_file(tmp_path)
+        self._assert_same_batches(
+            list(iter_update_stream(path, epoch_size=5)),
+            load_update_stream(path, epoch_size=5),
+        )
+
+    def test_non_contiguous_timestamps_rejected_lazily(self, tmp_path):
+        path = tmp_path / "revisit.txt"
+        path.write_text("0 + 0 1\n1 + 1 2\n0 + 2 3\n")
+        # the eager loader merges the revisited timestamp ...
+        merged = load_update_stream(path)
+        assert len(merged) == 2 and merged[0].insert_src.size == 2
+        # ... the lazy one cannot without buffering the file, so it refuses
+        with pytest.raises(ValueError, match="reappears"):
+            list(iter_update_stream(path))
+
+
+# ---------------------------------------------------------------------------
+# CLI over stores
+# ---------------------------------------------------------------------------
+class TestStoreCLI:
+    def test_generate_then_info_json(self, tmp_path, capsys):
+        out = tmp_path / "g"
+        rc = cli_main(
+            ["generate", "rmat", str(out), "--scale", "9", "--edge-factor",
+             "4", "--seed", "3"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = cli_main(["info", str(out), "--json"])
+        assert rc == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["store"] == "mmap"
+        assert info["vertices"] == 512
+        assert info["resident_mb"] == 0.0 and info["on_disk_mb"] > 0
+        assert info["path"] == str(out)
+
+    def test_info_on_dataset_name(self, capsys):
+        rc = cli_main(["info", "usa-road"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "memory" in text and "VALUE" in text
+        assert "usa-road" in text
+
+    def test_run_over_store_with_degree_partition(self, tmp_path, capsys):
+        out = tmp_path / "g"
+        assert cli_main(
+            ["generate", "rmat", str(out), "--scale", "9", "--edge-factor",
+             "4", "--seed", "3"]
+        ) == 0
+        capsys.readouterr()
+        rc = cli_main(
+            ["run", "wcc", "--graph", str(out), "--workers", "2",
+             "--partition", "degree", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["supersteps"] >= 1
