@@ -109,6 +109,17 @@ SPECS: dict[str, GateSpec] = {
             comparable=("edge_factor", "seed", "iterations"),
         ),
         GateSpec(
+            kind="rebalance",
+            key=("workload", "trigger"),
+            # fired / no_false_fire / gain_ok are the tentpole claims:
+            # planted skew must trigger, converged partitions must not,
+            # and the cost-model win must clear the 1.3x bar
+            parity=("identical", "fired", "no_false_fire", "gain_ok"),
+            exact=("supersteps", "rebalances", "moved_vertices", "moved_arcs"),
+            wall=("off_wall_s", "reb_wall_s"),
+            comparable=("scale", "edge_factor", "workers", "seed", "epochs"),
+        ),
+        GateSpec(
             kind="streaming",
             key=("algorithm", "delta_frac"),
             parity=("identical",),
@@ -139,6 +150,8 @@ def detect_kind(payload: dict, path: Path | str | None = None) -> str:
         return "recovery"
     if "rss_ok" in row or "peak_rss_growth_mb" in row:
         return "scale"
+    if "no_false_fire" in row or "gain_ratio" in row:
+        return "rebalance"
     if "delta_frac" in row:
         return "streaming"
     if path is not None:

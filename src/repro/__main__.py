@@ -148,12 +148,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="recovery mode used when --fail triggers",
     )
     run.add_argument(
+        "--rebalance",
+        choices=["off", "epoch", "superstep"],
+        default="off",
+        help="adaptive load rebalancing (ARCHITECTURE.md §13): "
+        "`superstep` pauses at a barrier every --rebalance-every "
+        "supersteps and migrates vertex ranges off straggling workers "
+        "when the policy's estimated win clears its hysteresis gates "
+        "(`epoch` only applies to `stream`); results stay bit-identical",
+    )
+    run.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="supersteps between rebalance checks (with --rebalance "
+        "superstep)",
+    )
+    run.add_argument(
         "--trace",
         metavar="FILE",
         default=None,
         help="write a structured JSON-lines run trace (span events: run, "
         "superstep, per-worker phase, exchange round, checkpoint, "
-        "failure, recovery); inspect with `repro report FILE`",
+        "failure, recovery, rebalance); inspect with `repro report FILE`",
     )
     run.add_argument(
         "--metrics-port",
@@ -233,6 +251,23 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="overlay/base ratio that triggers delta-graph compaction",
+    )
+    stream.add_argument(
+        "--rebalance",
+        choices=["off", "epoch", "superstep"],
+        default="off",
+        help="adaptive load rebalancing: `epoch` re-partitions between "
+        "epochs from the previous epoch's phase times; `superstep` "
+        "migrates live state at superstep barriers inside each epoch; "
+        "the improved partition carries forward either way",
+    )
+    stream.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="supersteps between rebalance checks (with --rebalance "
+        "superstep)",
     )
     stream.add_argument(
         "--trace",
@@ -343,6 +378,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--weighted", action="store_true", help="rmat only: uniform [1,100) weights"
     )
     gen.add_argument(
+        "--index-dtype",
+        choices=["int64", "uint32"],
+        default="int64",
+        help="on-disk dtype for indices.npy; uint32 halves the dominant "
+        "array for graphs under 2**32 vertices (readers widen to int64 "
+        "on attach)",
+    )
+    gen.add_argument(
         "--chunk-edges",
         type=int,
         default=1 << 20,
@@ -444,6 +487,13 @@ def _cmd_run(args) -> int:
     partition = "metis" if args.partitioned else args.partition
     # backend/fault-tolerance option validation lives in the engine, the
     # single source of truth — the CLI only translates the ValueError
+    if args.rebalance == "epoch":
+        print(
+            "--rebalance epoch needs epoch boundaries; use `repro stream` "
+            "(or --rebalance superstep here)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         schedule = ChannelEngine.validate_options(
             executor=args.executor,
@@ -452,11 +502,16 @@ def _cmd_run(args) -> int:
             recovery=args.recovery,
             num_workers=args.workers,
             transport=args.transport,
+            rebalance=args.rebalance,
+            rebalance_every=args.rebalance_every,
         )
     except ValueError as exc:
         print(f"bad run options: {exc}", file=sys.stderr)
         return 2
     kwargs = {"num_workers": args.workers, "executor": args.executor}
+    if args.rebalance != "off":
+        kwargs["rebalance"] = args.rebalance
+        kwargs["rebalance_every"] = args.rebalance_every
     if args.transport is not None:
         kwargs["transport"] = args.transport
     if partition == "metis":
@@ -576,6 +631,8 @@ def _cmd_stream(args) -> int:
             transport=args.transport,
             trace=recorder,
             live=live,
+            rebalance=args.rebalance,
+            rebalance_every=args.rebalance_every,
         )
     except ValueError as exc:
         if server is not None:
@@ -747,6 +804,7 @@ def _cmd_generate(args) -> int:
             directed=not args.undirected,
             weighted=args.weighted,
             chunk_edges=args.chunk_edges,
+            index_dtype=args.index_dtype,
         )
     else:
         if args.weighted:
@@ -759,6 +817,7 @@ def _cmd_generate(args) -> int:
             seed=args.seed,
             directed=not args.undirected,
             chunk_edges=args.chunk_edges,
+            index_dtype=args.index_dtype,
         )
     row = _graph_info(args.out, graph)
     print(format_table([{"property": k, "value": v} for k, v in row.items()]))

@@ -66,6 +66,16 @@ class CombinedMessage(RecordChannel):
         self._slots[...] = state["slots"]
         self._has_msg[...] = state["has_msg"]
 
+    def migrate_states(self, states: list[dict], ctx) -> list[dict]:
+        # pure per-vertex inbox: combined slots and flags follow their
+        # vertices to the new owners
+        slots = ctx.remap_vertex_arrays([s["slots"] for s in states])
+        has_msg = ctx.remap_vertex_arrays([s["has_msg"] for s in states])
+        return [
+            {"slots": slots[w], "has_msg": has_msg[w]}
+            for w in range(ctx.num_workers)
+        ]
+
     # -- round protocol (serialize inherited from RecordChannel) ------------
     def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
         self.round += 1

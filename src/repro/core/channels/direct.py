@@ -69,6 +69,29 @@ class DirectMessage(RecordChannel):
         self._recv_indptr = state["recv_indptr"].copy()
         self._recv_vals = state["recv_vals"].copy()
 
+    def migrate_states(self, states: list[dict], ctx) -> list[dict]:
+        # expand each CSR inbox to (global vertex, value) rows, route by
+        # the new owner, regroup per receiver; every vertex's inbox lived
+        # on exactly one old worker, so its per-vertex value order (the
+        # only order get_iterator exposes) is preserved bit-identically
+        gids = np.concatenate(
+            [
+                np.repeat(ctx.old_locals[w], np.diff(s["recv_indptr"]))
+                for w, s in enumerate(states)
+            ]
+        )
+        vals = np.concatenate([s["recv_vals"] for s in states])
+        out = []
+        for w, gids_w, (vals_w,) in ctx.route(gids, vals):
+            local = ctx.localize(w, gids_w)
+            order = np.argsort(local, kind="stable")
+            num_local = ctx.new_locals[w].size
+            indptr = np.zeros(num_local + 1, dtype=np.int64)
+            counts = np.bincount(local[order], minlength=num_local)
+            np.cumsum(counts, out=indptr[1:])
+            out.append({"recv_indptr": indptr, "recv_vals": vals_w[order]})
+        return out
+
     # -- round protocol (serialize inherited from RecordChannel) ------------
     def deserialize(self, payloads: list[tuple[int, memoryview]]) -> None:
         self.round += 1

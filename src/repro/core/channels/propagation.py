@@ -158,6 +158,39 @@ class Propagation(Channel):
         self._pending_np = [(d, v) for d, v in state["pending"]]
         self._deferred = list(state["deferred"])
 
+    def migrate_states(self, states: list[dict], ctx) -> list[dict]:
+        # only quiescent channels migrate: at a superstep boundary the
+        # exchange loop has driven propagation to its global fixpoint
+        # (again() was False everywhere), so dirty/pending/deferred are
+        # all empty — anything else means a mid-propagation capture
+        for w, s in enumerate(states):
+            if s["dirty"] or s["pending"] or s["deferred"]:
+                raise RuntimeError(
+                    f"Propagation on worker {w} has in-flight propagation "
+                    "state; migration is only defined at a quiescent "
+                    "superstep boundary"
+                )
+        values = ctx.remap_vertex_arrays([s["values"] for s in states])
+        src_g = np.concatenate(
+            [ctx.old_locals[w][s["edge_src"]] for w, s in enumerate(states)]
+        )
+        dst_g = np.concatenate([s["edge_dst"] for s in states])
+        weight = np.concatenate([s["edge_w"] for s in states])
+        out = []
+        for w, gids, (dsts, ws) in ctx.route(src_g, dst_g, weight):
+            out.append(
+                {
+                    "edge_src": ctx.localize(w, gids),
+                    "edge_dst": dsts,
+                    "edge_w": ws,
+                    "values": values[w],
+                    "dirty": [],
+                    "pending": [],
+                    "deferred": [],
+                }
+            )
+        return out
+
     # -- structure -----------------------------------------------------------
     def _build(self) -> None:
         n = self.worker.num_local

@@ -185,6 +185,36 @@ class ScatterCombine(Channel):
         self._slots[...] = state["slots"]
         self._has_msg[...] = state["has_msg"]
 
+    def migrate_states(self, states: list[dict], ctx) -> list[dict]:
+        # per-vertex halves follow their vertices; the static edge sets
+        # are globalized through each old worker's local ids, routed by
+        # the new owner of the *sender*, and re-localized — _build() then
+        # re-derives the dispatch structure deterministically
+        values = ctx.remap_vertex_arrays([s["values"] for s in states])
+        sent = ctx.remap_vertex_arrays([s["sent_mask"] for s in states])
+        slots = ctx.remap_vertex_arrays([s["slots"] for s in states])
+        has_msg = ctx.remap_vertex_arrays([s["has_msg"] for s in states])
+        src_g = np.concatenate(
+            [ctx.old_locals[w][s["edge_src"]] for w, s in enumerate(states)]
+        )
+        dst_g = np.concatenate([s["edge_dst"] for s in states])
+        out = []
+        for w, gids, (dsts,) in ctx.route(src_g, dst_g):
+            out.append(
+                {
+                    "edge_src": ctx.localize(w, gids),
+                    "edge_dst": dsts,
+                    "values": values[w],
+                    "sent_mask": sent[w],
+                    # serialize round 0 always runs and clears _dirty, so
+                    # at a superstep boundary no worker is mid-scatter
+                    "dirty": any(s["dirty"] for s in states),
+                    "slots": slots[w],
+                    "has_msg": has_msg[w],
+                }
+            )
+        return out
+
     # -- round protocol -----------------------------------------------------
     def serialize(self) -> None:
         if self.round != 0 or not self._dirty:

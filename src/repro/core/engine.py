@@ -34,6 +34,7 @@ from repro.graph.graph import Graph
 from repro.graph.partition import hash_partition
 from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
 from repro.runtime.metrics import MetricsCollector
+from repro.runtime.rebalance import REBALANCE_MODES, RebalancePolicy
 
 __all__ = ["ChannelEngine", "EngineResult"]
 
@@ -46,6 +47,11 @@ EXECUTORS = ("sim", "process")
 #: recognised process-backend frame transports (see
 #: :class:`~repro.runtime.parallel.pool.WorkerPool`)
 TRANSPORTS = ("shm", "pipe")
+
+#: recognised adaptive-rebalancing triggers (re-exported from
+#: :mod:`repro.runtime.rebalance`); "epoch" is acted on by the streaming
+#: :class:`~repro.streaming.epoch.EpochEngine` between epochs, while
+#: "superstep" migrates inside a run at the superstep barrier
 
 #: engine configuration generations, for worker-pool reuse: a pool knows
 #: which engine's configuration its worker processes currently hold and
@@ -192,6 +198,21 @@ class ChannelEngine:
         :class:`~repro.streaming.epoch.EpochEngine` amortizes process
         startup across epochs.  The caller keeps ownership: the engine
         never shuts an externally provided pool down.
+    rebalance:
+        Adaptive load rebalancing (:mod:`repro.runtime.rebalance`,
+        ARCHITECTURE.md §13).  ``"superstep"`` consults the policy every
+        ``rebalance_every`` supersteps at the barrier and, when it fires,
+        migrates vertex ownership (and all per-vertex state, through the
+        checkpoint capture format) mid-run — on both executors, with
+        identical migration sequences.  ``"epoch"`` is the between-epochs
+        trigger acted on by the streaming layer; inside a single engine
+        run it does nothing.  ``"off"`` (default) disables rebalancing.
+    rebalance_every:
+        Superstep cadence of the ``"superstep"`` trigger.
+    rebalance_policy:
+        Optional pre-built :class:`~repro.runtime.rebalance.RebalancePolicy`
+        (to tune thresholds or share hysteresis state); one with default
+        thresholds is created when ``rebalance`` is armed without it.
     """
 
     def __init__(
@@ -211,10 +232,19 @@ class ChannelEngine:
         pool=None,
         trace=None,
         live=None,
+        rebalance: str = "off",
+        rebalance_every: int = 16,
+        rebalance_policy: RebalancePolicy | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
-        self.validate_options(executor=executor, recovery=recovery, transport=transport)
+        self.validate_options(
+            executor=executor,
+            recovery=recovery,
+            transport=transport,
+            rebalance=rebalance,
+            rebalance_every=rebalance_every,
+        )
         if pool is not None:
             if executor != "process":
                 raise ValueError("pool= only applies to executor='process'")
@@ -276,6 +306,14 @@ class ChannelEngine:
             from repro.obs.live import LiveMonitor
 
             self.monitor = LiveMonitor(live, self.metrics)
+        #: adaptive rebalancing (ARCHITECTURE.md §13): "superstep" arms
+        #: the backend's in-run migration trigger; "epoch" is carried for
+        #: the streaming layer (no in-run effect); "off" disables both
+        self.rebalance = rebalance
+        self.rebalance_every = int(rebalance_every)
+        self.rebalancer = rebalance_policy
+        if rebalance != "off" and self.rebalancer is None:
+            self.rebalancer = RebalancePolicy(num_workers=num_workers)
         self.step_num = 0
 
         self.workers: list[Worker] = []
@@ -313,6 +351,8 @@ class ChannelEngine:
         recovery: str = "rollback",
         num_workers: int | None = None,
         transport: str | None = None,
+        rebalance: str = "off",
+        rebalance_every: int | None = None,
     ) -> FailureSchedule | None:
         """Validate a backend/fault-tolerance option combination in one
         place, coercing ``failures`` into a
@@ -341,6 +381,12 @@ class ChannelEngine:
             )
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if rebalance not in REBALANCE_MODES:
+            raise ValueError(
+                f"rebalance must be one of {REBALANCE_MODES}, got {rebalance!r}"
+            )
+        if rebalance_every is not None and rebalance_every < 1:
+            raise ValueError("rebalance_every must be >= 1")
         schedule = FailureSchedule.coerce(failures)
         if schedule is not None and num_workers is not None:
             schedule.validate(num_workers)

@@ -44,12 +44,19 @@ __all__ = [
     "attach_store",
     "build_mmap_store",
     "is_mmap_store",
+    "INDEX_DTYPES",
     "META_NAME",
 ]
 
 META_NAME = "meta.json"
 _FORMAT = "repro-csr"
 _VERSION = 1
+
+#: on-disk dtypes accepted for ``indices.npy`` (``meta.json``'s
+#: ``index_dtype`` field; absent means ``int64``).  ``uint32`` halves the
+#: dominant on-disk array for graphs under 2**32 vertices; readers widen
+#: back to int64 on attach so everything downstream sees one dtype.
+INDEX_DTYPES = {"int64": np.int64, "uint32": np.uint32}
 
 # (src, dst, weights-or-None) int64/int64/float64 arrays of equal length
 EdgeChunk = tuple[np.ndarray, np.ndarray, "np.ndarray | None"]
@@ -148,6 +155,7 @@ class MmapStore(GraphStore):
         self.num_vertices = int(meta["num_vertices"])
         self.directed = bool(meta["directed"])
         self._arrays = arrays
+        self._widened: np.ndarray | None = None  # int64 copy of narrow indices
 
     # -- open / save ---------------------------------------------------
     @classmethod
@@ -164,34 +172,59 @@ class MmapStore(GraphStore):
                 f"{path}: store version {meta['version']} is newer than "
                 f"this reader (max {_VERSION})"
             )
+        index_dtype = meta.get("index_dtype", "int64")
+        if index_dtype not in INDEX_DTYPES:
+            raise ValueError(
+                f"{path}: unknown index_dtype {index_dtype!r}; "
+                f"expected one of {sorted(INDEX_DTYPES)}"
+            )
         names = ["indptr", "indices"] + (["weights"] if meta["weighted"] else [])
         arrays = {name: _load_mapped(path / f"{name}.npy") for name in names}
+        if arrays["indices"].dtype != INDEX_DTYPES[index_dtype]:
+            raise ValueError(
+                f"{path}: indices.npy dtype {arrays['indices'].dtype} does "
+                f"not match meta index_dtype {index_dtype!r}"
+            )
         return cls(path, meta, arrays)
 
     @classmethod
-    def save(cls, graph, path: str | os.PathLike) -> "MmapStore":
+    def save(
+        cls, graph, path: str | os.PathLike, *, index_dtype: str = "int64"
+    ) -> "MmapStore":
         """Write ``graph``'s CSR arrays to ``path`` and open the result.
 
         ``graph`` is duck-typed: anything with ``num_vertices``,
-        ``directed`` and ``csr_arrays()`` works.
+        ``directed`` and ``csr_arrays()`` works.  ``index_dtype="uint32"``
+        stores ``indices.npy`` narrow (half the disk for the dominant
+        array); see :data:`INDEX_DTYPES`.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
+        dtype = _check_index_dtype(index_dtype, graph.num_vertices)
         csr = graph.csr_arrays()
         for name, arr in csr.items():
-            np.save(path / f"{name}.npy", arr)
+            np.save(path / f"{name}.npy", arr.astype(dtype) if name == "indices" else arr)
         _write_meta(
             path,
             num_vertices=graph.num_vertices,
             num_arcs=int(csr["indices"].size),
             directed=bool(graph.directed),
             weighted="weights" in csr,
+            index_dtype=index_dtype,
         )
         return cls.open(path)
 
     # -- GraphStore API ------------------------------------------------
     def arrays(self) -> dict[str, np.ndarray]:
-        return dict(self._arrays)
+        out = dict(self._arrays)
+        idx = out["indices"]
+        if idx.dtype != np.int64:
+            # widen narrow on-disk indices exactly once; every consumer
+            # (engine kernels, partitioners, exports) assumes int64
+            if self._widened is None:
+                self._widened = np.ascontiguousarray(idx, dtype=np.int64)
+            out["indices"] = self._widened
+        return out
 
     def describe(self) -> dict:
         return {"kind": "mmap", "path": str(self.path)}
@@ -200,14 +233,16 @@ class MmapStore(GraphStore):
         on_disk = sum(
             (self.path / f"{name}.npy").stat().st_size for name in self._arrays
         )
-        # the arrays themselves are file-backed pages, not heap; only the
-        # O(1) python objects are resident
-        return {"resident_bytes": 0, "on_disk_bytes": int(on_disk)}
+        # the mapped arrays are file-backed pages, not heap; only a
+        # widened copy of narrow indices (when one was made) is resident
+        resident = self._widened.nbytes if self._widened is not None else 0
+        return {"resident_bytes": int(resident), "on_disk_bytes": int(on_disk)}
 
     def close(self) -> None:
         # drop the mmap views so the underlying maps can be unmapped; the
         # files themselves are left in place
         self._arrays = {}
+        self._widened = None
 
 
 class SharedMemoryStore(GraphStore):
@@ -297,6 +332,7 @@ def build_mmap_store(
     num_vertices: int | None = None,
     directed: bool = True,
     weighted: bool = False,
+    index_dtype: str = "int64",
 ) -> MmapStore:
     """Build an on-disk CSR store from a re-playable stream of edge chunks.
 
@@ -313,9 +349,17 @@ def build_mmap_store(
     (file order, self-loops included) followed by all backward arcs (file
     order, self-loops dropped) — which is exactly what the forward-then-
     backward scatter passes produce.
+
+    ``index_dtype="uint32"`` writes ``indices.npy`` narrow (half the
+    disk/page-cache footprint of the dominant array); the store widens
+    back to int64 when attached.
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
+    if index_dtype not in INDEX_DTYPES:
+        raise ValueError(
+            f"index_dtype must be one of {sorted(INDEX_DTYPES)}, got {index_dtype!r}"
+        )
 
     # -- pass 1: count out-degrees (and find V when not given) ---------
     counts = np.zeros((num_vertices or 0) + 1, dtype=np.int64)
@@ -345,11 +389,12 @@ def build_mmap_store(
                 num_arcs += int(back.sum())
 
     n = num_vertices if num_vertices is not None else max_id + 1
+    idx_np_dtype = _check_index_dtype(index_dtype, n)
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts[:n], out=indptr[1:])
     np.save(path / "indptr.npy", indptr)
 
-    indices_mm = _create_mapped(path / "indices.npy", np.int64, num_arcs)
+    indices_mm = _create_mapped(path / "indices.npy", idx_np_dtype, num_arcs)
     weights_mm = (
         _create_mapped(path / "weights.npy", np.float64, num_arcs) if weighted else None
     )
@@ -402,8 +447,25 @@ def build_mmap_store(
         num_arcs=int(num_arcs),
         directed=bool(directed),
         weighted=bool(weighted),
+        index_dtype=index_dtype,
     )
     return MmapStore.open(path)
+
+
+def _check_index_dtype(index_dtype: str, num_vertices: int) -> np.dtype:
+    """The numpy dtype for ``index_dtype``, after checking every vertex
+    id actually fits in it."""
+    if index_dtype not in INDEX_DTYPES:
+        raise ValueError(
+            f"index_dtype must be one of {sorted(INDEX_DTYPES)}, got {index_dtype!r}"
+        )
+    dtype = np.dtype(INDEX_DTYPES[index_dtype])
+    if num_vertices > 0 and num_vertices - 1 > np.iinfo(dtype).max:
+        raise ValueError(
+            f"index_dtype {index_dtype!r} cannot hold vertex ids up to "
+            f"{num_vertices - 1}"
+        )
+    return dtype
 
 
 def _check_chunk(src, dst, w, weighted: bool) -> EdgeChunk:

@@ -48,7 +48,10 @@ __all__ = [
 ]
 
 _MAGIC = 0x5245504C49564531  # "REPLIVE1"
-_VERSION = 1
+# v2 appends a parent-owned per-worker migration counter region (8 bytes
+# per worker) after the alert region; attach rejects other versions, so
+# readers never misparse a foreign layout
+_VERSION = 2
 
 #: u64 slot fields, in payload order (cumulative unless noted; ``active``
 #: is the *current* superstep's active-vertex count, not a running sum)
@@ -127,7 +130,8 @@ class LiveMetrics:
     def create(cls, num_workers: int, name: str | None = None) -> "LiveMetrics":
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        size = _HEADER_SIZE + _SLOT_SIZE * num_workers + 8 * num_workers
+        # header, worker slots, alert counters, migration counters
+        size = _HEADER_SIZE + _SLOT_SIZE * num_workers + 8 * num_workers + 8 * num_workers
         if name is not None:
             seg = shared_memory.SharedMemory(name=name, create=True, size=size)
         else:
@@ -256,6 +260,24 @@ class LiveMetrics:
 
     def bump_alert(self, worker: int) -> None:
         off = self._alert_off(int(worker))
+        _SEQ.pack_into(self._buf, off, _SEQ.unpack_from(self._buf, off)[0] + 1)
+
+    # -- migrations (parent-owned, like the alert counters) ---------------
+
+    def _mig_off(self, worker: int) -> int:
+        return _HEADER_SIZE + (_SLOT_SIZE + 8) * self.num_workers + 8 * worker
+
+    def rebalance_counts(self) -> list[int]:
+        """Per-worker count of live migrations that touched the worker
+        (as source or destination of a moved range); the MIG column of
+        ``repro top``."""
+        return [
+            _SEQ.unpack_from(self._buf, self._mig_off(w))[0]
+            for w in range(self.num_workers)
+        ]
+
+    def bump_rebalance(self, worker: int) -> None:
+        off = self._mig_off(int(worker))
         _SEQ.pack_into(self._buf, off, _SEQ.unpack_from(self._buf, off)[0] + 1)
 
 

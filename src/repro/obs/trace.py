@@ -59,6 +59,7 @@ SPAN_KINDS = (
     "alert",
     "failure",
     "recovery",
+    "rebalance",
 )
 
 

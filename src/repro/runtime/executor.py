@@ -46,6 +46,8 @@ import time
 import warnings
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.recovery import (
     FailureSchedule,
     FrameLog,
@@ -58,6 +60,12 @@ from repro.runtime.checkpoint import (
     Snapshot,
     capture_worker_state,
     encode_state,
+    load_worker_state,
+)
+from repro.runtime.rebalance import (
+    MigrationContext,
+    phase_matrix,
+    remap_worker_states,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -140,12 +148,25 @@ class ExecutorBackend:
                 if engine.monitor is not None:
                     engine.monitor.observe(engine.step_num)
 
-            # superstep boundary: checkpoint, then inject failures
+            # superstep boundary: rebalance first (a migration changes
+            # what any checkpoint taken below must capture)
+            migrated = False
+            if (
+                engine.rebalance == "superstep"
+                and engine.rebalancer is not None
+                and engine.step_num % engine.rebalance_every == 0
+            ):
+                migrated = self.maybe_rebalance()
+
+            # then checkpoint, then inject failures
             if fault_tolerant:
-                if (
+                if migrated or (
                     checkpoint_every is not None
                     and engine.step_num % checkpoint_every == 0
                 ):
+                    # after a migration the recapture is mandatory: the
+                    # previous snapshot (and any logged frames, truncated
+                    # by take_checkpoint) reference the old ownership
                     self.take_checkpoint()
                 doomed = failures.pop(engine.step_num) if failures else []
                 if doomed:
@@ -189,6 +210,36 @@ class ExecutorBackend:
         if engine.frame_log is not None:
             # frames covered by this checkpoint can never be replayed
             engine.frame_log.truncate_before(snapshot.superstep)
+
+    # -- shared rebalancing choreography -------------------------------------
+    def maybe_rebalance(self) -> bool:
+        """Ask the engine's policy for a migration plan over the phase
+        timings observed so far and execute it at this barrier; returns
+        whether a migration happened.  The plan is a pure function of
+        (owner, indptr, matrix), so every backend migrates identically."""
+        engine = self.engine
+        policy = engine.rebalancer
+        plan = policy.propose(
+            engine.owner,
+            engine.graph.indptr,
+            phase_matrix(engine.metrics, window=policy.window),
+        )
+        if plan is None:
+            return False
+        t0 = time.perf_counter()
+        self.migrate(plan)
+        seconds = time.perf_counter() - t0
+        engine.metrics.record_rebalance(plan, trigger="superstep", seconds=seconds)
+        if engine.live is not None:
+            touched = sorted({w for move in plan.moves for w in move[2:]})
+            for w in touched:
+                engine.live.bump_rebalance(w)
+        return True
+
+    def migrate(self, plan) -> None:
+        """Move vertex ownership (and all per-vertex state) per ``plan``
+        at the current quiescent superstep boundary."""
+        raise NotImplementedError
 
     # -- backend primitives --------------------------------------------------
     def begin_run(self, fault_tolerant: bool) -> None:
@@ -378,6 +429,20 @@ class SimBackend(ExecutorBackend):
 
     def capture_state_blobs(self) -> list[bytes]:
         return [encode_state(capture_worker_state(w)) for w in self.engine.workers]
+
+    def migrate(self, plan) -> None:
+        # capture under the old ownership, remap, rebuild every worker
+        # under the new one, load.  The active sets refresh at the next
+        # barrier vote from the (remapped) halted/woken flags; the live
+        # writers are per-slot and carry no worker references
+        engine = self.engine
+        states = [capture_worker_state(w) for w in engine.workers]
+        ctx = MigrationContext(engine.owner, plan.new_owner, engine.num_workers)
+        new_states = remap_worker_states(states, ctx, engine.workers[0].channels)
+        engine.owner = np.asarray(plan.new_owner, dtype=np.int64)
+        for w in range(engine.num_workers):
+            engine.rebuild_worker(w)
+            load_worker_state(engine.workers[w], new_states[w])
 
     def recover(self, doomed: list[int], mode: str) -> None:
         if mode == "confined":

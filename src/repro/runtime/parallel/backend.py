@@ -51,10 +51,12 @@ import numpy as np
 from repro.core.recovery import confined_recovery, rollback_recovery
 from repro.runtime.checkpoint import (
     capture_worker_state,
+    decode_state,
     encode_state,
     load_worker_state,
 )
 from repro.runtime.executor import ExecutorBackend
+from repro.runtime.rebalance import MigrationContext, remap_worker_states
 from repro.runtime.parallel.pool import WorkerPool
 from repro.runtime.parallel.protocol import WorkerProcessError
 
@@ -256,6 +258,32 @@ class ProcessBackend(ExecutorBackend):
         # have written, so checkpoint sizes are bit-identical too
         self.pool.broadcast({"cmd": "capture"})
         return [bytes(reply["blob"]) for reply in self.pool.gather("checkpoint capture")]
+
+    def migrate(self, plan) -> None:
+        """Migrate vertex ownership across the live worker processes.
+
+        All children are quiescent (blocked on their control pipes at
+        this superstep barrier), so the sequence is race-free: capture
+        every child's state over the control protocol (checkpoint wire
+        format), remap it parent-side, rewrite the *shared* ownership
+        array in place, then have each child rebuild its Worker against
+        the migrated partition and load its remapped state (``remap``
+        keeps the graph attachments, ``step_num``, and the live writer).
+        The parent's mirror workers rebuild last, so recovery and
+        confined replay keep operating on the new ownership.
+        """
+        engine = self.engine
+        pool = self.pool
+        states = [decode_state(blob) for blob in self.capture_state_blobs()]
+        ctx = MigrationContext(engine.owner, plan.new_owner, engine.num_workers)
+        new_states = remap_worker_states(states, ctx, engine.workers[0].channels)
+        pool.update_owner(plan.new_owner)
+        engine.owner = np.asarray(plan.new_owner, dtype=np.int64)
+        for w in range(engine.num_workers):
+            pool.send(w, {"cmd": "remap", "blob": encode_state(new_states[w])})
+        pool.gather("rebalance remap")
+        for w in range(engine.num_workers):
+            engine.rebuild_worker(w)
 
     def recover(self, doomed: list[int], mode: str) -> None:
         engine = self.engine

@@ -180,6 +180,7 @@ class WorkerPool:
         self._finalizer: weakref.finalize | None = None
         self._cfg: dict | None = None  # current configuration (live objects)
         self._child_cfg: dict | None = None  # its shared-memory spec form
+        self._owner_view: np.ndarray | None = None  # parent view of shared owner
         self.generation: int | None = None  # engine generation currently loaded
         self._evicted: set[int] = set()  # generations replaced by a later one
         self.num_channels: int | None = None
@@ -256,12 +257,20 @@ class WorkerPool:
                 "indices": export.share(csr["indices"]),
                 "weights": export.share(csr["weights"]) if "weights" in csr else None,
             }
+        # the owner segment stays parent-writable: adaptive rebalancing
+        # rewrites the partition in place at a quiescent barrier and every
+        # child (and any later respawn, which attaches the same segment)
+        # observes the migrated ownership
+        owner_spec, owner_view = export.share_writable(
+            np.asarray(cfg["owner"], dtype=np.int64)
+        )
+        self._owner_view = owner_view
         child_cfg = {
             "num_vertices": graph.num_vertices,
             "directed": graph.directed,
             "num_workers": self.num_workers,
             "graph": graph_desc,
-            "owner": export.share(np.asarray(cfg["owner"], dtype=np.int64)),
+            "owner": owner_spec,
             "seeds": cfg["seeds"],
             # see attach_array: spawned children must drop their private
             # resource tracker's claim on the parent's segments
@@ -409,6 +418,23 @@ class WorkerPool:
         simulator performs at the top of ``ChannelEngine.run``)."""
         self.broadcast({"cmd": "start_run"})
         self.gather("start_run")
+
+    def update_owner(self, new_owner: np.ndarray) -> None:
+        """Rewrite the shared ownership array in place (adaptive
+        rebalancing).  Children are quiescent — blocked on their control
+        pipes at a superstep barrier — when this runs, so there are no
+        concurrent readers; they observe the migrated partition when the
+        following ``remap`` command rebuilds their workers, and any later
+        respawn attaches the same (updated) segment."""
+        new_owner = np.asarray(new_owner, dtype=np.int64)
+        view = self._owner_view
+        if view is None or view.shape != new_owner.shape:
+            raise WorkerProcessError(
+                "pool has no live shared ownership array matching the plan"
+            )
+        view[...] = new_owner
+        if self._cfg is not None:
+            self._cfg = dict(self._cfg, owner=new_owner)
 
     # -- failure injection -------------------------------------------------
     def kill(self, w: int) -> None:

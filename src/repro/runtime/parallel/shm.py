@@ -62,6 +62,19 @@ class SharedArrayExport:
             view[...] = arr
         return _spec(seg.name, arr)
 
+    def share_writable(self, arr: np.ndarray) -> tuple[dict, np.ndarray]:
+        """Like :meth:`share`, but also return the parent's live view of
+        the segment, so the parent can rewrite the shared contents in
+        place later (children attach the same buffer and observe the
+        update — used for ownership migration at quiescent barriers)."""
+        arr = np.ascontiguousarray(arr)
+        seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        self._segments.append(seg)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        if arr.nbytes:
+            view[...] = arr
+        return _spec(seg.name, arr), view
+
     def close(self, unlink: bool = True) -> None:
         for seg in self._segments:
             try:

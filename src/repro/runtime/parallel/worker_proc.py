@@ -62,6 +62,13 @@ Lifecycle commands (how a pool outlives any single engine):
     (:func:`repro.runtime.checkpoint.capture_worker_state`); ``restore``
     loads such a blob (rollback recovery, or priming a respawned
     replacement after an injected death) and rewinds ``step_num``.
+``remap``
+    Adaptive rebalancing at a superstep barrier: the parent has already
+    rewritten the shared ownership array in place; rebuild the Worker
+    against it from the stored program factory and load the remapped
+    state blob that rode along.  Unlike ``configure`` this keeps the
+    graph attachments, ``step_num``, and the live telemetry writer —
+    same engine, same run, new vertex placement.
 ``die``
     ``os._exit`` immediately — deterministic failure injection through
     the *real* worker-death path (the parent observes a dead process,
@@ -438,6 +445,7 @@ class _WorkerProcess:
         self.segments: list = []
         self.worker: Worker | None = None
         self.host: _WorkerHost | None = None
+        self.factory = None  # current program factory (for remap rebuilds)
         self.active = np.empty(0, dtype=np.int64)
         self.live = None
         self.live_writer = None
@@ -502,6 +510,7 @@ class _WorkerProcess:
             for channel in worker.channels:
                 channel.initialize()
         self.worker, self.host, self.segments = worker, host, segments
+        self.factory = factory
 
         # live telemetry plane: (re)attach the engine's segment and start
         # this worker's slot from zero — a reconfigure means a new engine
@@ -785,6 +794,24 @@ class _WorkerProcess:
                 host.step_num = msg["step_num"]
                 if self.live_writer is not None:
                     self.live_writer.rewind()
+                send_msg(conn, {"ok": True})
+
+            elif cmd == "remap":
+                # adaptive rebalancing: the parent rewrote the shared
+                # ownership array in place before sending this; rebuild
+                # the Worker against it (same graph attachments, same
+                # program factory) and load this worker's remapped state.
+                # step_num and the live writer deliberately survive —
+                # same engine, same run, new vertex placement
+                new_worker = Worker(
+                    host, worker_id, np.flatnonzero(host.owner == worker_id)
+                )
+                new_worker.program = self.factory(new_worker)
+                for channel in new_worker.channels:
+                    channel.initialize()
+                load_worker_state(new_worker, decode_state(msg["blob"]))
+                self.worker = new_worker
+                self.active = np.empty(0, dtype=np.int64)
                 send_msg(conn, {"ok": True})
 
             elif cmd == "configure":

@@ -29,6 +29,7 @@ from repro.core.engine import EXECUTORS, ChannelEngine, EngineResult
 from repro.graph.graph import Graph
 from repro.graph.partition import extend_partition, hash_partition
 from repro.runtime.costmodel import NetworkModel, DEFAULT_NETWORK
+from repro.runtime.rebalance import RebalancePolicy, phase_matrix
 from repro.streaming.batch import MutationBatch
 from repro.streaming.delta import DeltaGraph
 from repro.streaming.plan import REFRESH_MODES, StreamAlgorithm
@@ -111,6 +112,19 @@ class EpochEngine:
         header epoch advances and the per-worker slots restart from zero
         (each epoch gets a fresh collector too, so live/collector parity
         holds within every epoch).  The caller owns the segment.
+    rebalance:
+        ``"off"`` (default), ``"epoch"``, or ``"superstep"``.  With
+        ``"epoch"`` a :class:`~repro.runtime.rebalance.RebalancePolicy`
+        inspects the previous epoch's per-worker phase times before each
+        new engine is built and may hand it a rebalanced ownership
+        array; with ``"superstep"`` the policy instead rides inside each
+        epoch's engine, pausing at superstep barriers to migrate live
+        state (see ARCHITECTURE.md §13).  Either way the improved
+        partition carries forward to all later epochs.
+    rebalance_every / rebalance_policy:
+        Superstep-mode check cadence and an optional pre-configured
+        policy (one instance is shared across epochs so its cooldown
+        spans the stream).
     """
 
     def __init__(
@@ -128,12 +142,20 @@ class EpochEngine:
         transport: str | None = None,
         trace=None,
         live=None,
+        rebalance: str = "off",
+        rebalance_every: int = 16,
+        rebalance_policy: RebalancePolicy | None = None,
     ) -> None:
         if refresh not in REFRESH_MODES:
             raise ValueError(f"refresh must be one of {REFRESH_MODES}, got {refresh!r}")
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
-        ChannelEngine.validate_options(executor=executor, transport=transport)
+        ChannelEngine.validate_options(
+            executor=executor,
+            transport=transport,
+            rebalance=rebalance,
+            rebalance_every=rebalance_every,
+        )
         self.transport = transport
         self.delta = DeltaGraph(graph, compact_threshold=compact_threshold)
         self.algorithm = algorithm
@@ -146,6 +168,13 @@ class EpochEngine:
         self.pool = None  # created lazily for executor="process"
         self.trace = trace
         self.live = live
+        # one policy instance across epochs so the cooldown spans the
+        # whole stream (migrations settle instead of thrashing)
+        self.rebalance = rebalance
+        self.rebalance_every = int(rebalance_every)
+        self.rebalancer = rebalance_policy
+        if rebalance != "off" and self.rebalancer is None:
+            self.rebalancer = RebalancePolicy(num_workers=num_workers)
         self._stream_span: int | None = None
         if partition is None:
             partition = hash_partition(graph.num_vertices, num_workers, seed=partition_seed)
@@ -198,6 +227,21 @@ class EpochEngine:
         new_graph = self.delta.view()
 
         plan = self.algorithm.plan(old_graph, new_graph, stats, self.state, refresh)
+        reb_plan = None
+        if self.rebalance == "epoch" and self.rebalancer is not None and self.history:
+            # between epochs no worker holds state (warm state lives in
+            # ``self.state`` and is re-seeded through the plan), so an
+            # epoch-boundary migration is just a new ownership array for
+            # the next engine — judged on the previous epoch's phase times
+            reb_plan = self.rebalancer.propose(
+                self.owner,
+                new_graph.indptr,
+                phase_matrix(
+                    self.history[-1].result.metrics, window=self.rebalancer.window
+                ),
+            )
+            if reb_plan is not None:
+                self.owner = np.asarray(reb_plan.new_owner, dtype=np.int64)
         epoch_span = None
         if self.trace is not None:
             if self._stream_span is None:
@@ -230,13 +274,29 @@ class EpochEngine:
             initial_active=plan.seeds,
             trace=self.trace,
             live=self.live,
+            rebalance=self.rebalance if self.rebalance == "superstep" else "off",
+            rebalance_every=self.rebalance_every,
+            rebalance_policy=(
+                self.rebalancer if self.rebalance == "superstep" else None
+            ),
             **self._executor_kwargs(),
         )
         if epoch_span is not None:
             engine.metrics.trace_parent = epoch_span
+        if reb_plan is not None:
+            engine.metrics.record_rebalance(
+                reb_plan, trigger="epoch", seconds=reb_plan.migrate_seconds
+            )
+            if self.live is not None:
+                for w in sorted({w for move in reb_plan.moves for w in move[2:]}):
+                    self.live.bump_rebalance(w)
         self.epoch_num += 1
         engine.metrics.record_stream_epoch(self.epoch_num, plan.affected, plan.mode)
         result = engine.run()
+        if engine.owner is not self.owner:
+            # a superstep-triggered migration rebound the engine's owner
+            # array; adopt it so later epochs keep the improved partition
+            self.owner = engine.owner
         self.state = self.algorithm.collect(engine, result)
         if epoch_span is not None:
             self.trace.end(epoch_span)

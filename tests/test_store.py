@@ -235,6 +235,70 @@ class TestDiskGenerators:
         assert 0.8 * 8.0 * n < g.num_edges < 1.2 * 8.0 * n
 
 
+class TestIndexDtype:
+    """``index_dtype="uint32"`` halves ``indices.npy`` on disk; readers
+    must widen back to int64 so everything downstream sees one dtype."""
+
+    def test_uint32_store_matches_int64_store(self, tmp_path):
+        g = rmat(9, edge_factor=6, seed=3)
+        wide = MmapStore.save(g, tmp_path / "wide")
+        narrow = MmapStore.save(g, tmp_path / "narrow", index_dtype="uint32")
+        assert json.loads((tmp_path / "narrow" / "meta.json").read_text())[
+            "index_dtype"
+        ] == "uint32"
+        # on disk: half the bytes for the dominant array
+        raw = np.load(tmp_path / "narrow" / "indices.npy", mmap_mode="r")
+        assert raw.dtype == np.uint32
+        assert (
+            raw.nbytes * 2
+            == np.load(tmp_path / "wide" / "indices.npy", mmap_mode="r").nbytes
+        )
+        # attached: widened back to one dtype, bit-identical content
+        _assert_same_csr(Graph.from_store(wide), Graph.from_store(narrow))
+
+    def test_uint32_disk_generator_round_trip(self, tmp_path):
+        a = rmat_to_disk(tmp_path / "a", scale=9, edge_factor=6, seed=3)
+        b = rmat_to_disk(
+            tmp_path / "b", scale=9, edge_factor=6, seed=3, index_dtype="uint32"
+        )
+        _assert_same_csr(Graph.from_store(a.store), Graph.from_store(b.store))
+        assert run_wcc(a, variant="basic", mode="bulk", num_workers=2)[
+            -1
+        ].data == run_wcc(b, variant="basic", mode="bulk", num_workers=2)[-1].data
+
+    def test_widened_indices_counted_in_footprint_and_freed(self, tmp_path):
+        g = rmat(8, edge_factor=4, seed=2)
+        store = MmapStore.save(g, tmp_path / "s", index_dtype="uint32")
+        before = store.footprint()["resident_bytes"]
+        arrays = store.arrays()
+        assert arrays["indices"].dtype == np.int64
+        after = store.footprint()["resident_bytes"]
+        assert after - before >= arrays["indices"].nbytes
+        assert store.arrays()["indices"] is arrays["indices"]  # widened once
+        store.close()
+        assert store._widened is None
+
+    def test_unknown_and_overflowing_dtypes_rejected(self, tmp_path):
+        g = rmat(6, edge_factor=4, seed=1)
+        with pytest.raises(ValueError, match="index_dtype"):
+            MmapStore.save(g, tmp_path / "bad", index_dtype="int32")
+        from repro.graph.store import _check_index_dtype
+
+        with pytest.raises(ValueError, match="cannot hold"):
+            _check_index_dtype("uint32", (1 << 32) + 1)
+        assert _check_index_dtype("uint32", 1 << 32) == np.uint32
+
+    def test_open_rejects_mismatched_index_dtype(self, tmp_path):
+        g = rmat(6, edge_factor=4, seed=1)
+        MmapStore.save(g, tmp_path / "s", index_dtype="uint32")
+        meta_path = tmp_path / "s" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["index_dtype"] = "int64"
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="does not match"):
+            MmapStore.open(tmp_path / "s")
+
+
 class TestDegreePartition:
     def test_balances_arcs_without_edges(self):
         g = load_dataset("wikipedia")  # power-law: range partition skews
